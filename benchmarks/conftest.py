@@ -1,0 +1,94 @@
+"""Shared fixtures for the figure/table reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it prints the same rows/series the paper reports, persists
+them under ``results/``, and asserts the paper's *shape* (who wins, by
+roughly what factor, where crossovers fall) — absolute numbers are
+simulated time, not the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends.ops import OpFamily
+from repro.bench.reporting import Report, save_report
+from repro.cluster import lassen, thetagpu
+from repro.core import Tuner
+
+
+@pytest.fixture(scope="session")
+def lassen_system():
+    return lassen()
+
+
+@pytest.fixture(scope="session")
+def thetagpu_system():
+    return thetagpu()
+
+
+@pytest.fixture(scope="session")
+def lassen_tuning_table(lassen_system):
+    """The static tuning table the paper's suite generates for Lassen
+    (used by the MCR-DL-T configurations)."""
+    tuner = Tuner(lassen_system, ["nccl", "mvapich2-gdr", "msccl"], mode="analytic")
+    report = tuner.build_table(
+        world_sizes=[16, 32, 64, 128, 256],
+        ops=[
+            OpFamily.ALLREDUCE,
+            OpFamily.ALLTOALL,
+            OpFamily.ALLGATHER,
+            OpFamily.REDUCE_SCATTER,
+            OpFamily.BROADCAST,
+        ],
+    )
+    return report.table
+
+
+@pytest.fixture(scope="session")
+def thetagpu_tuning_table(thetagpu_system):
+    tuner = Tuner(thetagpu_system, ["nccl", "mvapich2-gdr", "msccl"], mode="analytic")
+    report = tuner.build_table(
+        world_sizes=[2, 4, 8, 16, 32],
+        ops=[
+            OpFamily.ALLREDUCE,
+            OpFamily.ALLTOALL,
+            OpFamily.ALLGATHER,
+            OpFamily.REDUCE_SCATTER,
+            OpFamily.BROADCAST,
+        ],
+    )
+    return report.table
+
+
+@pytest.fixture
+def publish(capsys):
+    """Print a Report (bypassing capture) and persist it to results/."""
+
+    def _publish(report: Report):
+        path = save_report(report)
+        with capsys.disabled():
+            print()
+            print(report.render())
+            print(f"[saved to {path}]")
+        return path
+
+    return _publish
+
+
+@pytest.fixture
+def publish_chart(capsys):
+    """Render an ASCII chart of a figure's series next to its report."""
+    from repro.bench.plotting import ascii_chart
+    from repro.bench.reporting import results_dir
+
+    def _publish_chart(experiment: str, series: dict, **chart_kw):
+        chart = ascii_chart(series, **chart_kw)
+        path = results_dir() / f"{experiment}.chart.txt"
+        path.write_text(chart + "\n")
+        with capsys.disabled():
+            print()
+            print(chart)
+        return path
+
+    return _publish_chart

@@ -1,0 +1,74 @@
+"""Figure 10: dense Megatron-DeepSpeed (6.7B, TP=2, ZeRO-2) on ThetaGPU
+with pure MVAPICH2-GDR, pure SCCL/MSCCL, and their MCR-DL mixture."""
+
+import pytest
+
+from repro.bench.reporting import Report
+from repro.models import BackendPlan, MegatronDenseModel, Trainer
+from repro.models.trainer import scaling_efficiency
+
+SCALES = [4, 8, 16, 32]
+
+
+def run_fig10(system):
+    model = MegatronDenseModel()
+    trainer = Trainer(system, steps=2, warmup=1)
+    plans = [
+        BackendPlan.pure("msccl", "SCCL"),
+        BackendPlan.pure("mvapich2-gdr", "MVAPICH2-GDR"),
+        # the paper's MSCCL + MVAPICH2-GDR mixture: MV2 serves the
+        # pairwise-exchange patterns (TP-pair allreduce, ZeRO-2
+        # reduce-scatter), MSCCL serves its synthesized allgather
+        BackendPlan.mixed(
+            allreduce="mvapich2-gdr",
+            alltoall="mvapich2-gdr",
+            reduce_scatter="mvapich2-gdr",
+            allgather="msccl",
+            broadcast="mvapich2-gdr",
+            label="MCR-DL",
+        ),
+    ]
+    return {
+        plan.label: [trainer.run(model, ws, plan) for ws in SCALES] for plan in plans
+    }
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_megatron_dense(benchmark, thetagpu_system, publish):
+    results = benchmark.pedantic(
+        lambda: run_fig10(thetagpu_system), rounds=1, iterations=1
+    )
+    labels = list(results)
+
+    report = Report(
+        experiment="fig10a",
+        title="Dense Megatron-DeepSpeed throughput (samples/s), ThetaGPU A100",
+        header=["gpus"] + labels,
+    )
+    for i, ws in enumerate(SCALES):
+        report.add_row(ws, *[results[l][i].samples_per_sec for l in labels])
+    publish(report)
+
+    eff = {l: scaling_efficiency(results[l]) for l in labels}
+    report_b = Report(
+        experiment="fig10b",
+        title="Dense Megatron-DeepSpeed scaling efficiency (vs 4 GPUs)",
+        header=["gpus"] + labels,
+    )
+    for ws in SCALES:
+        report_b.add_row(ws, *[eff[l][ws] for l in labels])
+    report_b.add_note(
+        "paper reports ~20% throughput improvement for the MSCCL+MVAPICH2-GDR "
+        "mixture over the best pure backend on 32 A100 GPUs"
+    )
+    publish(report_b)
+
+    thr = {l: [r.samples_per_sec for r in results[l]] for l in labels}
+    # paper shape: the mixture is at least the best pure backend at every
+    # scale, and strictly better at 32 GPUs
+    for i in range(len(SCALES)):
+        best_pure = max(thr["SCCL"][i], thr["MVAPICH2-GDR"][i])
+        assert thr["MCR-DL"][i] >= best_pure * 0.99, SCALES[i]
+    best_pure_32 = max(thr["SCCL"][-1], thr["MVAPICH2-GDR"][-1])
+    gain = thr["MCR-DL"][-1] / best_pure_32 - 1
+    assert 0.0 <= gain < 0.6

@@ -1,0 +1,69 @@
+"""Figure 12: communication-overhead reduction with MCR-DL at 256 Lassen
+V100 GPUs (DS-MoE) and 32 ThetaGPU A100 GPUs (DLRM).
+
+The paper reports a 9% reduction in communication time for DS-MoE and
+7% for DLRM versus the best pure backend, measured with the logging
+extension.
+"""
+
+import pytest
+
+from repro.bench.reporting import Report
+from repro.models import BackendPlan, DLRMModel, DSMoEModel, Trainer
+
+
+def comm_time(result) -> float:
+    return sum(v for k, v in result.comm_by_family.items() if k != "barrier")
+
+
+def run_fig12(lassen_system, thetagpu_system):
+    out = {}
+    for name, model, system, world in [
+        ("ds-moe", DSMoEModel(), lassen_system, 256),
+        ("dlrm", DLRMModel(), thetagpu_system, 32),
+    ]:
+        trainer = Trainer(system, steps=2, warmup=1)
+        pures = [
+            trainer.run(model, world, BackendPlan.pure("nccl", "NCCL")),
+            trainer.run(model, world, BackendPlan.pure("mvapich2-gdr", "MVAPICH2-GDR")),
+        ]
+        best_pure = min(pures, key=lambda r: r.step_time_us)
+        mcr = trainer.run(model, world, BackendPlan.mixed(label="MCR-DL"))
+        out[name] = (best_pure, mcr, world)
+    return out
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_comm_overhead_reduction(
+    benchmark, lassen_system, thetagpu_system, publish
+):
+    results = benchmark.pedantic(
+        lambda: run_fig12(lassen_system, thetagpu_system), rounds=1, iterations=1
+    )
+
+    report = Report(
+        experiment="fig12",
+        title="Communication time per step: best pure backend vs MCR-DL",
+        header=[
+            "model", "gpus", "best_pure", "pure_comm_us", "mcr_comm_us", "reduction_%",
+        ],
+    )
+    reductions = {}
+    for name, (pure, mcr, world) in results.items():
+        pure_comm = comm_time(pure)
+        mcr_comm = comm_time(mcr)
+        red = (pure_comm - mcr_comm) / pure_comm * 100.0
+        reductions[name] = red
+        report.add_row(name, world, pure.plan_label, pure_comm, mcr_comm, red)
+    report.add_note("paper: 9% comm-time reduction for DS-MoE, 7% for DLRM")
+    publish(report)
+
+    # paper shape: MCR-DL reduces total communication time vs the best
+    # pure backend for both models, by a single-to-low-double-digit
+    # percentage (paper: 9% and 7%)
+    assert 2.0 < reductions["ds-moe"] < 45.0
+    assert 2.0 < reductions["dlrm"] < 45.0
+
+    # and the step time improves accordingly
+    for name, (pure, mcr, _) in results.items():
+        assert mcr.step_time_us < pure.step_time_us, name

@@ -1,0 +1,87 @@
+"""Figure 8: DS-MoE throughput and scaling efficiency on Lassen.
+
+Pure NCCL vs pure MVAPICH2-GDR vs coarse-grained mixing (MCR-DL) vs
+tuned fine-grained mixing (MCR-DL-T), 16 -> 256 V100 GPUs.
+"""
+
+import pytest
+
+from repro.bench.reporting import Report
+from repro.models import BackendPlan, DSMoEModel, Trainer
+from repro.models.trainer import scaling_efficiency
+
+SCALES = [16, 32, 64, 128, 256]
+
+
+def run_fig8(system, tuning_table):
+    model = DSMoEModel()
+    trainer = Trainer(system, steps=2, warmup=1)
+    plans = [
+        BackendPlan.pure("nccl", "NCCL"),
+        BackendPlan.pure("mvapich2-gdr", "MVAPICH2-GDR"),
+        BackendPlan.mixed(label="MCR-DL"),
+        BackendPlan.tuned(tuning_table, label="MCR-DL-T"),
+    ]
+    results = {}
+    for plan in plans:
+        results[plan.label] = [trainer.run(model, ws, plan) for ws in SCALES]
+    return results
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_dsmoe_throughput_and_efficiency(
+    benchmark, lassen_system, lassen_tuning_table, publish, publish_chart
+):
+    results = benchmark.pedantic(
+        lambda: run_fig8(lassen_system, lassen_tuning_table), rounds=1, iterations=1
+    )
+    labels = list(results)
+
+    report = Report(
+        experiment="fig8a",
+        title="DS-MoE throughput (samples/s), Lassen V100",
+        header=["gpus"] + labels,
+    )
+    for i, ws in enumerate(SCALES):
+        report.add_row(ws, *[results[l][i].samples_per_sec for l in labels])
+    publish(report)
+
+    eff = {l: scaling_efficiency(results[l]) for l in labels}
+    report_b = Report(
+        experiment="fig8b",
+        title="DS-MoE scaling efficiency (vs 16 GPUs), Lassen V100",
+        header=["gpus"] + labels,
+    )
+    for ws in SCALES:
+        report_b.add_row(ws, *[eff[l][ws] for l in labels])
+    report_b.add_note("paper: MCR-DL maintains ~81% efficiency at 256 GPUs")
+    publish(report_b)
+
+    thr = {l: [r.samples_per_sec for r in results[l]] for l in labels}
+    publish_chart(
+        "fig8a",
+        {l: list(zip(SCALES, thr[l])) for l in labels},
+        log_x=True, log_y=True,
+        title="Fig 8(a): DS-MoE throughput vs GPUs (log-log)",
+    )
+
+    # --- paper shape assertions -------------------------------------
+    # 1. NCCL beats MVAPICH2-GDR at small scale; the Allreduce-bound ->
+    #    Alltoall-bound crossover flips the ordering by 256 GPUs.
+    assert thr["NCCL"][0] > thr["MVAPICH2-GDR"][0]
+    assert thr["MVAPICH2-GDR"][-1] > thr["NCCL"][-1]
+    # 2. MCR-DL best of the three at every scale.
+    for i in range(len(SCALES)):
+        assert thr["MCR-DL"][i] > thr["NCCL"][i]
+        assert thr["MCR-DL"][i] > thr["MVAPICH2-GDR"][i]
+    # 3. tuned fine-grained mixing at least matches coarse mixing
+    for i in range(len(SCALES)):
+        assert thr["MCR-DL-T"][i] >= thr["MCR-DL"][i] * 0.98
+    # 4. improvements at 256 in the paper's ballpark (31% / 35%)
+    gain_mv2 = thr["MCR-DL"][-1] / thr["MVAPICH2-GDR"][-1] - 1
+    gain_nccl = thr["MCR-DL"][-1] / thr["NCCL"][-1] - 1
+    assert 0.15 < gain_mv2 < 0.60
+    assert 0.20 < gain_nccl < 0.90
+    # 5. scaling efficiency: MCR-DL ~0.75-0.9 at 256 and above both pures
+    assert 0.65 < eff["MCR-DL"][256] < 0.95
+    assert eff["MCR-DL"][256] > eff["NCCL"][256]

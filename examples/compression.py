@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Lossy communication compression (paper §V-E, Listing 2's use case).
+
+The paper's Listing 2 shows a compressed-gradient Allgather shrinking
+from 20 lines of cupy<->numpy staging to two MCR-DL calls.  Here the
+fixed-rate codec is switched on in the communicator config: the wire
+time of a large gradient allreduce drops ~rate/32-fold, and the *actual*
+quantization error appears in the reduced values — the accuracy/speed
+trade-off, measured.
+
+Run:  python examples/compression.py
+"""
+
+import numpy as np
+
+from repro.core import CompressionConfig, MCRCommunicator, MCRConfig
+from repro.sim import Simulator
+
+WORLD = 8
+GRAD_ELEMS = 1 << 22  # 16 MiB of fp32 gradients
+
+
+def run(rate_bits):
+    def main(ctx):
+        config = MCRConfig()
+        if rate_bits is not None:
+            config.compression = CompressionConfig(enabled=True, rate_bits=rate_bits)
+        comm = MCRCommunicator(ctx, ["nccl"], config=config)
+        # timing half: full-size virtual gradients
+        t0 = ctx.now
+        h = comm.all_reduce("nccl", ctx.virtual_tensor(GRAD_ELEMS), async_op=True)
+        h.synchronize()
+        elapsed = ctx.now - t0
+        # accuracy half: real (small) gradients through the same codec path
+        real = ctx.tensor(np.sin(np.arange(4096) * 0.01 + ctx.rank).astype(np.float32))
+        reference = real.data.copy()
+        comm.all_reduce("nccl", real)
+        comm.synchronize()
+        comm.finalize()
+        exact = sum(
+            np.sin(np.arange(4096) * 0.01 + r).astype(np.float32) for r in range(WORLD)
+        )
+        err = float(np.abs(real.data - exact).max() / np.abs(exact).max())
+        return elapsed, err
+
+    results = Simulator(WORLD).run(main).rank_results
+    return max(e for e, _ in results), max(err for _, err in results)
+
+
+def main():
+    print(f"16 MiB gradient allreduce on {WORLD} simulated V100 GPUs:\n")
+    print(f"{'rate':>8} {'wire time (us)':>15} {'speedup':>8} {'max rel error':>14}")
+    base_time, _ = run(None)
+    for label, bits in [("off", None), ("12-bit", 12), ("8-bit", 8), ("4-bit", 4)]:
+        elapsed, err = run(bits)
+        print(f"{label:>8} {elapsed:>15.1f} {base_time / elapsed:>7.2f}x {err:>14.5f}")
+    print("\nhigher compression = faster wire, larger (bounded) error — the")
+    print("codec path is exercised end to end, including the real data loss.")
+
+
+if __name__ == "__main__":
+    main()

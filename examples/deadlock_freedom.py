@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Deadlock-free mixed-backend communication (paper §V-D, Fig. 4/5).
+
+Two ranks post collectives on two backends in *opposite orders* — the
+classic mixed-runtime deadlock.  Under a naive synchronization scheme
+(everything on the default stream, host-blocking) the job genuinely
+hangs and the simulator reports the deadlock with per-rank diagnostics;
+under MCR-DL's fine-grained CUDA-event scheme it completes, and the
+trace shows cross-backend overlap.
+
+Run:  python examples/deadlock_freedom.py
+"""
+
+from repro.core import MCRCommunicator, MCRConfig
+from repro.sim import DeadlockError, Simulator
+
+
+def misordered(ctx, config):
+    comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"], config=config)
+    x = ctx.virtual_tensor(1 << 20)
+    y = ctx.virtual_tensor(1 << 20)
+    if ctx.rank % 2 == 0:
+        comm.all_reduce("nccl", x)
+        comm.all_reduce("mvapich2-gdr", y)
+    else:
+        comm.all_reduce("mvapich2-gdr", y)
+        comm.all_reduce("nccl", x)
+    comm.finalize()
+    return ctx.now
+
+
+def main():
+    print("posting NCCL and MPI collectives in opposite orders on 2 ranks...\n")
+
+    print("1) naive synchronization (Fig. 4a: default stream + host blocking):")
+    try:
+        Simulator(2).run(misordered, MCRConfig(synchronization="naive"))
+        print("   unexpectedly completed?!")
+    except DeadlockError as err:
+        print("   DEADLOCK, as a real naive runtime would:")
+        for line in str(err).splitlines()[1:]:
+            print("    ", line.strip())
+
+    print("\n2) MCR-DL fine-grained synchronization (Fig. 4b):")
+    result = Simulator(2, trace=True).run(misordered, MCRConfig())
+    print(f"   completed in {result.elapsed_us:.1f} simulated us")
+    tracer = result.tracer
+    nccl = tracer.filter(rank=0, label_contains="nccl")
+    mpi = tracer.filter(rank=0, label_contains="mvapich")
+    print(f"   cross-backend overlap on rank 0: "
+          f"{tracer.overlap_time(nccl, mpi):.1f} us")
+
+
+if __name__ == "__main__":
+    main()

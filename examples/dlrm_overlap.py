@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DLRM's non-blocking Alltoall overlap (paper §III-E, Figure 9).
+
+DLRM shuffles embedding lookups between table shards with an Alltoall
+that is overlapped with the previous batch's top-MLP compute — the
+workload that *requires* non-blocking Alltoall support (which PyTorch's
+distributed module only offers on NCCL, and Horovod not at all).
+
+This example measures the same DLRM step with and without the overlap
+and shows the timeline evidence from the tracer.
+
+Run:  python examples/dlrm_overlap.py
+"""
+
+from repro.cluster import thetagpu
+from repro.models import BackendPlan, CommDriver, DLRMModel
+from repro.models.dlrm import DLRMConfig
+from repro.sim import Simulator
+
+WORLD = 16
+
+
+def step(ctx, overlap: bool):
+    """One DLRM batch; with overlap=False the Alltoall blocks instead."""
+    model = DLRMModel(DLRMConfig())
+    driver = CommDriver(ctx, BackendPlan.mixed(), enable_logging=False)
+    costs = model._compute_costs(ctx)
+    cfg = model.config
+    elems = max(ctx.world_size, cfg.alltoall_bytes() // 4)
+    elems -= elems % ctx.world_size
+    shuffle_in = ctx.virtual_tensor(elems)
+    shuffle_out = ctx.virtual_tensor(elems)
+
+    ctx.launch(costs["lookup"], label="emb:lookup")
+    handle = driver.all_to_all_single(shuffle_out, shuffle_in, async_op=True)
+    if not overlap:
+        handle.synchronize()  # serialize: no compute while shuffling
+    ctx.launch(costs["bottom_fwd"], label="fwd:bottom")
+    ctx.launch(costs["top_fwd"], label="fwd:top(prev)")
+    if overlap:
+        handle.wait()
+    ctx.launch(costs["interact"], label="fwd:interact")
+    ctx.launch(costs["top_fwd"], label="fwd:top")
+    driver.step_sync()
+    driver.finalize()
+    return ctx.now
+
+
+def run(overlap: bool):
+    sim = Simulator(WORLD, system=thetagpu(), trace=True)
+    result = sim.run(step, overlap)
+    comm = result.tracer.filter(rank=0, category="comm")
+    compute = result.tracer.filter(rank=0, category="compute")
+    overlap_us = result.tracer.overlap_time(comm, compute)
+    return result.elapsed_us, overlap_us
+
+
+def main():
+    serial_us, serial_overlap = run(overlap=False)
+    overlapped_us, overlapped_overlap = run(overlap=True)
+    print(f"{WORLD} simulated A100 GPUs on ThetaGPU, one DLRM batch:")
+    print(f"  blocking Alltoall:     {serial_us:9.1f} us/step "
+          f"(comm/compute overlap {serial_overlap:7.1f} us)")
+    print(f"  non-blocking Alltoall: {overlapped_us:9.1f} us/step "
+          f"(comm/compute overlap {overlapped_overlap:7.1f} us)")
+    gain = serial_us / overlapped_us - 1
+    print(f"  overlap speedup: {gain * 100:+.1f}%")
+    assert overlapped_us < serial_us
+
+
+if __name__ == "__main__":
+    main()

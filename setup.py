@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the `wheel` package cannot perform PEP 660
+editable installs; this shim lets `pip install -e .` fall back to the
+classic `setup.py develop` path. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — a reproduction of MCR-DL (IPDPS 2023) on a simulated GPU cluster.
+
+MCR-DL is a mix-and-match communication runtime for deep learning: a thin,
+unified interface between a DL framework and any set of communication
+backends (NCCL, MVAPICH2-GDR, OpenMPI, MSCCL, ...), supporting every
+point-to-point and collective operation (including vectored and
+non-blocking variants), deadlock-free mixed-backend communication, and a
+tuning suite that selects the best backend per (operation, message size,
+world size).
+
+Because no GPU cluster is available, the runtime here targets a
+deterministic discrete-event simulation of a multi-node GPU system
+(:mod:`repro.sim`, :mod:`repro.cluster`) instead of CUDA; every backend
+moves real NumPy data and charges simulated time from a calibrated cost
+model.  See DESIGN.md for the substitution table.
+
+Quickstart::
+
+    from repro import mcr_dl
+    from repro.cluster import lassen
+    from repro.sim import Simulator
+
+    def main(ctx):
+        comm = mcr_dl.init(ctx, ["nccl", "mvapich2-gdr"])
+        x = ctx.full(1024, float(ctx.rank))
+        h = comm.all_reduce("nccl", x, async_op=True)
+        h.wait()
+        comm.finalize()
+
+    sim = Simulator(world_size=8, system=lassen())
+    sim.run(main)
+"""
+
+from repro._version import __version__
+from repro.core import api as mcr_dl
+
+__all__ = ["__version__", "mcr_dl"]

@@ -1,0 +1,53 @@
+"""Communication backends.
+
+Each library the paper uses (NCCL, MVAPICH2-GDR, OpenMPI, MSCCL, plus a
+Gloo fallback) is a :class:`~repro.backends.base.Backend` subclass — the
+"backend as a class" design of Table I.  A backend contributes three
+things:
+
+* **semantics** — stream-aware (enqueue on CUDA streams, host never
+  blocks) vs host-synchronized MPI; CUDA-awareness; native vector
+  collective support (:class:`~repro.backends.base.BackendProperties`);
+* **algorithms** — which collective algorithm it runs at a given
+  (op, message size, world size), from the standard menu in
+  :mod:`repro.backends.cost`;
+* **performance character** — per-op latency/bandwidth multipliers from
+  :mod:`repro.backends.calibration`, applied to the system's
+  :class:`~repro.cluster.CommPath`.
+
+Data movement itself (:mod:`repro.backends.datapath`) is shared: every
+backend produces bit-identical results, they differ only in time and
+synchronization — exactly the property that makes mix-and-match safe.
+"""
+
+from repro.backends.base import (
+    Backend,
+    BackendProperties,
+    available_backends,
+    backend_class,
+    canonical_name,
+    create_backend,
+    register_backend,
+)
+from repro.backends.nccl import NcclBackend
+from repro.backends.mvapich import MvapichGdrBackend
+from repro.backends.openmpi import OpenMpiBackend
+from repro.backends.msccl import MscclBackend
+from repro.backends.gloo import GlooBackend
+from repro.backends.ucc import UccBackend
+
+__all__ = [
+    "Backend",
+    "BackendProperties",
+    "available_backends",
+    "backend_class",
+    "canonical_name",
+    "create_backend",
+    "register_backend",
+    "NcclBackend",
+    "MvapichGdrBackend",
+    "OpenMpiBackend",
+    "MscclBackend",
+    "GlooBackend",
+    "UccBackend",
+]

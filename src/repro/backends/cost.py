@@ -1,0 +1,271 @@
+"""Collective algorithm cost models.
+
+Standard alpha-beta(-gamma) formulas for the classic collective
+algorithms (Thakur et al., "Optimization of Collective Communication
+Operations in MPICH", and the NCCL ring model).  A backend picks an
+algorithm per (op, message size, world size) and these functions price
+it against the system's :class:`~repro.cluster.CommPath`.
+
+Size conventions (``n`` is always **bytes**):
+
+========== =====================================================
+op         meaning of ``n``
+========== =====================================================
+allreduce  full vector (input == output size per rank)
+reduce     full vector
+broadcast  full vector
+allgather  *local contribution* (every rank receives ``p * n``)
+reduce_scatter  full input vector (output is ``n / p``)
+alltoall   *local input total* (``n / p`` goes to each peer)
+gather     per-rank chunk (root receives ``p * n``)
+scatter    per-rank chunk (root sends ``p * n``)
+========== =====================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.backends.calibration import REDUCE_GAMMA_US_PER_BYTE
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Inputs to one cost evaluation."""
+
+    alpha_us: float  # effective per-message latency
+    beta_us_per_byte: float  # effective inverse bandwidth
+    p: int  # communicator size
+    n: int  # bytes, per the table above
+    gamma_us_per_byte: float = REDUCE_GAMMA_US_PER_BYTE
+
+
+def _log2p(p: int) -> float:
+    return math.ceil(math.log2(p)) if p > 1 else 0.0
+
+
+# -- allreduce ----------------------------------------------------------
+
+
+def ring_allreduce(c: CostParams) -> float:
+    """Ring: 2(p-1) steps, 2n(p-1)/p bytes per rank; bandwidth-optimal."""
+    if c.p == 1:
+        return 0.0
+    steps = 2 * (c.p - 1)
+    volume = 2.0 * c.n * (c.p - 1) / c.p
+    return steps * c.alpha_us + volume * c.beta_us_per_byte + c.n * c.gamma_us_per_byte
+
+
+def direct_pair_allreduce(c: CostParams) -> float:
+    """Two-rank allreduce via direct peer copy (CUDA IPC) + local
+    reduction: one exchange of the full vector."""
+    if c.p == 1:
+        return 0.0
+    return c.alpha_us + c.n * c.beta_us_per_byte + c.n * c.gamma_us_per_byte
+
+
+def recursive_doubling_allreduce(c: CostParams) -> float:
+    """log2(p) rounds exchanging the full vector; latency-optimal."""
+    if c.p == 1:
+        return 0.0
+    rounds = _log2p(c.p)
+    return rounds * (c.alpha_us + c.n * c.beta_us_per_byte) + c.n * c.gamma_us_per_byte
+
+
+def tree_allreduce(c: CostParams) -> float:
+    """Pipelined double binary tree (NCCL): log-depth latency with a
+    ~2n bandwidth term thanks to chunk pipelining."""
+    if c.p == 1:
+        return 0.0
+    rounds = 2 * _log2p(c.p)
+    return (
+        rounds * c.alpha_us
+        + 2.0 * c.n * c.beta_us_per_byte
+        + c.n * c.gamma_us_per_byte
+    )
+
+
+def rabenseifner_allreduce(c: CostParams) -> float:
+    """Reduce-scatter + allgather; bandwidth-optimal with log latency."""
+    if c.p == 1:
+        return 0.0
+    rounds = 2 * _log2p(c.p)
+    volume = 2.0 * c.n * (c.p - 1) / c.p
+    return rounds * c.alpha_us + volume * c.beta_us_per_byte + c.n * c.gamma_us_per_byte
+
+
+# -- reduce / broadcast --------------------------------------------------
+
+
+def binomial_reduce(c: CostParams) -> float:
+    if c.p == 1:
+        return 0.0
+    rounds = _log2p(c.p)
+    return rounds * (c.alpha_us + c.n * c.beta_us_per_byte) + c.n * c.gamma_us_per_byte
+
+
+def reduce_scatter_gather_reduce(c: CostParams) -> float:
+    """Large-message reduce: reduce-scatter then gather to root."""
+    if c.p == 1:
+        return 0.0
+    rounds = 2 * _log2p(c.p)
+    volume = 2.0 * c.n * (c.p - 1) / c.p
+    return rounds * c.alpha_us + volume * c.beta_us_per_byte + c.n * c.gamma_us_per_byte
+
+
+def binomial_broadcast(c: CostParams) -> float:
+    rounds = _log2p(c.p)
+    return rounds * (c.alpha_us + c.n * c.beta_us_per_byte)
+
+
+def scatter_allgather_broadcast(c: CostParams) -> float:
+    """Van de Geijn large-message broadcast."""
+    if c.p == 1:
+        return 0.0
+    rounds = _log2p(c.p) + (c.p - 1)
+    volume = 2.0 * c.n * (c.p - 1) / c.p
+    return rounds * c.alpha_us + volume * c.beta_us_per_byte
+
+
+# -- allgather / reduce_scatter -------------------------------------------
+
+
+def ring_allgather(c: CostParams) -> float:
+    """(p-1) steps, receives (p-1)n bytes."""
+    if c.p == 1:
+        return 0.0
+    return (c.p - 1) * c.alpha_us + (c.p - 1) * c.n * c.beta_us_per_byte
+
+
+def recursive_doubling_allgather(c: CostParams) -> float:
+    if c.p == 1:
+        return 0.0
+    rounds = _log2p(c.p)
+    return rounds * c.alpha_us + (c.p - 1) * c.n * c.beta_us_per_byte
+
+
+def ring_reduce_scatter(c: CostParams) -> float:
+    if c.p == 1:
+        return 0.0
+    volume = c.n * (c.p - 1) / c.p
+    return (c.p - 1) * c.alpha_us + volume * c.beta_us_per_byte + (
+        volume * c.gamma_us_per_byte
+    )
+
+
+def pairwise_reduce_scatter(c: CostParams) -> float:
+    if c.p == 1:
+        return 0.0
+    rounds = _log2p(c.p)
+    volume = c.n * (c.p - 1) / c.p
+    return rounds * c.alpha_us + volume * c.beta_us_per_byte + volume * c.gamma_us_per_byte
+
+
+# -- alltoall -------------------------------------------------------------
+
+
+def pairwise_alltoall(c: CostParams) -> float:
+    """(p-1) pairwise exchanges of n/p bytes each; the MPI large-message
+    workhorse. Total bytes moved per rank: n(p-1)/p."""
+    if c.p == 1:
+        return 0.0
+    per_pair = c.n / c.p
+    return (c.p - 1) * (c.alpha_us + per_pair * c.beta_us_per_byte)
+
+
+def bruck_alltoall(c: CostParams) -> float:
+    """log2(p) rounds moving n/2 bytes per round; small-message optimal."""
+    if c.p == 1:
+        return 0.0
+    rounds = _log2p(c.p)
+    return rounds * (c.alpha_us + (c.n / 2.0) * c.beta_us_per_byte)
+
+
+def p2p_alltoall(c: CostParams) -> float:
+    """Alltoall emulated with per-peer send/recv (how NCCL does it):
+    every peer costs a full alpha (kernel/channel setup), which is why
+    NCCL's Alltoall falls behind at scale (paper Fig. 2b)."""
+    if c.p == 1:
+        return 0.0
+    per_pair = c.n / c.p
+    # sends are pipelined across channels: bandwidth term is the same
+    # volume as pairwise, but each peer still pays full setup latency.
+    return (c.p - 1) * c.alpha_us + (c.p - 1) * per_pair * c.beta_us_per_byte * 1.0 + (
+        _log2p(c.p) * c.alpha_us  # channel coordination
+    )
+
+
+# -- gather / scatter ------------------------------------------------------
+
+
+def binomial_gather(c: CostParams) -> float:
+    """Binomial tree gather of p chunks of n bytes to the root."""
+    if c.p == 1:
+        return 0.0
+    rounds = _log2p(c.p)
+    # root receives (p-1) chunks in total; tree pipelines them
+    return rounds * c.alpha_us + (c.p - 1) * c.n * c.beta_us_per_byte
+
+
+def linear_gather(c: CostParams) -> float:
+    if c.p == 1:
+        return 0.0
+    return (c.p - 1) * (c.alpha_us + c.n * c.beta_us_per_byte)
+
+
+binomial_scatter = binomial_gather
+linear_scatter = linear_gather
+
+
+# -- p2p / barrier -----------------------------------------------------------
+
+
+def p2p_send(c: CostParams) -> float:
+    """One message of n bytes (rendezvous protocol above eager threshold)."""
+    return c.alpha_us + c.n * c.beta_us_per_byte
+
+
+def dissemination_barrier(c: CostParams) -> float:
+    return _log2p(c.p) * c.alpha_us
+
+
+#: registry used by backends to name their algorithm choices
+ALGORITHMS = {
+    "ring_allreduce": ring_allreduce,
+    "direct_pair_allreduce": direct_pair_allreduce,
+    "recursive_doubling_allreduce": recursive_doubling_allreduce,
+    "tree_allreduce": tree_allreduce,
+    "rabenseifner_allreduce": rabenseifner_allreduce,
+    "binomial_reduce": binomial_reduce,
+    "reduce_scatter_gather_reduce": reduce_scatter_gather_reduce,
+    "binomial_broadcast": binomial_broadcast,
+    "scatter_allgather_broadcast": scatter_allgather_broadcast,
+    "ring_allgather": ring_allgather,
+    "recursive_doubling_allgather": recursive_doubling_allgather,
+    "ring_reduce_scatter": ring_reduce_scatter,
+    "pairwise_reduce_scatter": pairwise_reduce_scatter,
+    "pairwise_alltoall": pairwise_alltoall,
+    "bruck_alltoall": bruck_alltoall,
+    "p2p_alltoall": p2p_alltoall,
+    "binomial_gather": binomial_gather,
+    "linear_gather": linear_gather,
+    "binomial_scatter": binomial_scatter,
+    "linear_scatter": linear_scatter,
+    "p2p_send": p2p_send,
+    "dissemination_barrier": dissemination_barrier,
+}
+
+
+def evaluate(algorithm: str, params: CostParams) -> float:
+    """Price ``algorithm`` under ``params``; raises on unknown names."""
+    try:
+        fn = ALGORITHMS[algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown collective algorithm {algorithm!r}; known: {sorted(ALGORITHMS)}"
+        ) from None
+    cost = fn(params)
+    if cost < 0:  # pragma: no cover - defensive
+        raise ValueError(f"negative cost from {algorithm}: {cost}")
+    return cost

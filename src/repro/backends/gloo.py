@@ -1,0 +1,54 @@
+"""Gloo backend model.
+
+PyTorch's CPU fallback backend: not CUDA-aware (every GPU tensor is
+staged through host memory), host-synchronized, ring-based algorithms.
+Included to exercise MCR-DL's extensibility claim (§V-B lists Gloo as a
+candidate backend class) and as a conservative baseline.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, BackendProperties, register_backend
+from repro.backends.calibration import GLOO_TUNING
+from repro.backends.ops import OpFamily
+
+
+class GlooBackend(Backend):
+    """Gloo host-based collectives."""
+
+    properties = BackendProperties(
+        name="gloo",
+        display_name="Gloo",
+        stream_aware=False,
+        cuda_aware=False,
+        native_vector_collectives=False,
+        native_nonblocking=False,
+        native_gather_scatter=True,
+        abi="host",
+        mpi_compliant=False,
+    )
+    tuning = GLOO_TUNING
+
+    def algorithm_for(self, family: OpFamily, nbytes: int, p: int) -> str:
+        if family is OpFamily.ALLREDUCE:
+            return "ring_allreduce"
+        if family is OpFamily.ALLGATHER:
+            return "ring_allgather"
+        if family is OpFamily.REDUCE_SCATTER:
+            return "ring_reduce_scatter"
+        if family is OpFamily.BROADCAST:
+            return "binomial_broadcast"
+        if family is OpFamily.REDUCE:
+            return "binomial_reduce"
+        if family is OpFamily.ALLTOALL:
+            return "pairwise_alltoall"
+        if family is OpFamily.GATHER:
+            return "linear_gather"
+        if family is OpFamily.SCATTER:
+            return "linear_scatter"
+        if family is OpFamily.P2P:
+            return "p2p_send"
+        raise ValueError(f"Gloo: no algorithm for {family}")
+
+
+register_backend(GlooBackend)

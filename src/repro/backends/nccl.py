@@ -1,0 +1,67 @@
+"""NCCL backend model.
+
+NCCL (paper §III-C): stream-aware, CUDA-native collectives with
+excellent large-message ring Allreduce, but no gather/scatter, no
+vectored collectives, and an Alltoall built from per-peer point-to-point
+sends whose setup latency scales with the communicator size — the reason
+it loses Alltoall at scale (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, BackendProperties, register_backend
+from repro.backends.calibration import NCCL_TUNING
+from repro.backends.ops import OpFamily
+
+#: below this, NCCL uses its LL (low-latency) protocol
+_LL_THRESHOLD_BYTES = 64 * 1024
+#: between LL and this, the pipelined double binary tree; ring above
+_TREE_THRESHOLD_BYTES = 4 * 1024 * 1024
+
+
+class NcclBackend(Backend):
+    """NVIDIA Collective Communications Library."""
+
+    properties = BackendProperties(
+        name="nccl",
+        display_name="NCCL",
+        stream_aware=True,
+        cuda_aware=True,
+        native_vector_collectives=False,
+        native_nonblocking=True,  # via stream semantics
+        native_gather_scatter=False,
+        abi="nccl",
+        mpi_compliant=False,
+    )
+    tuning = NCCL_TUNING
+
+    def algorithm_for(self, family: OpFamily, nbytes: int, p: int) -> str:
+        if family is OpFamily.ALLREDUCE:
+            if nbytes < _LL_THRESHOLD_BYTES:
+                return "recursive_doubling_allreduce"
+            if nbytes < _TREE_THRESHOLD_BYTES:
+                return "tree_allreduce"
+            return "ring_allreduce"
+        if family is OpFamily.ALLGATHER:
+            # aggregated LL protocol keeps step count logarithmic for
+            # small/medium sizes; bandwidth-optimal ring for large
+            if nbytes < 256 * 1024:
+                return "recursive_doubling_allgather"
+            return "ring_allgather"
+        if family is OpFamily.REDUCE_SCATTER:
+            return "ring_reduce_scatter"
+        if family is OpFamily.BROADCAST:
+            return "binomial_broadcast"
+        if family is OpFamily.REDUCE:
+            return "binomial_reduce"
+        if family is OpFamily.ALLTOALL:
+            return "p2p_alltoall"
+        if family in (OpFamily.GATHER, OpFamily.SCATTER):
+            # not native: MCR-DL emulates over p2p (linear pattern)
+            return "linear_gather" if family is OpFamily.GATHER else "linear_scatter"
+        if family is OpFamily.P2P:
+            return "p2p_send"
+        raise ValueError(f"NCCL: no algorithm for {family}")
+
+
+register_backend(NcclBackend)

@@ -1,0 +1,60 @@
+"""OpenMPI (UCX) backend model.
+
+A CUDA-aware generalist MPI (paper §VI-2 used OpenMPI v5.1.0 with UCX
+1.13.1): full MPI surface, decent latency, but without GDR-grade small
+message paths or NCCL-grade ring bandwidth.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Backend, BackendProperties, register_backend
+from repro.backends.calibration import OPENMPI_TUNING
+from repro.backends.ops import OpFamily
+
+_SMALL = 16 * 1024
+
+
+class OpenMpiBackend(Backend):
+    """OpenMPI with UCX transport."""
+
+    properties = BackendProperties(
+        name="openmpi",
+        display_name="OpenMPI",
+        stream_aware=False,
+        cuda_aware=True,
+        native_vector_collectives=True,
+        native_nonblocking=True,
+        native_gather_scatter=True,
+        abi="ompi",
+        mpi_compliant=True,
+    )
+    tuning = OPENMPI_TUNING
+
+    def algorithm_for(self, family: OpFamily, nbytes: int, p: int) -> str:
+        if family is OpFamily.ALLREDUCE:
+            if nbytes < _SMALL:
+                return "recursive_doubling_allreduce"
+            return "ring_allreduce"
+        if family is OpFamily.ALLGATHER:
+            if nbytes < _SMALL:
+                return "recursive_doubling_allgather"
+            return "ring_allgather"
+        if family is OpFamily.REDUCE_SCATTER:
+            return "ring_reduce_scatter"
+        if family is OpFamily.BROADCAST:
+            return "binomial_broadcast"
+        if family is OpFamily.REDUCE:
+            return "binomial_reduce"
+        if family is OpFamily.ALLTOALL:
+            # device buffers avoid Bruck's staging copies (see mvapich.py)
+            return "pairwise_alltoall"
+        if family is OpFamily.GATHER:
+            return "binomial_gather"
+        if family is OpFamily.SCATTER:
+            return "binomial_scatter"
+        if family is OpFamily.P2P:
+            return "p2p_send"
+        raise ValueError(f"OpenMPI: no algorithm for {family}")
+
+
+register_backend(OpenMpiBackend, aliases=("ompi",))

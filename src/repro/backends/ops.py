@@ -1,0 +1,54 @@
+"""Operation vocabulary shared by the API layer and the backends."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    """Reduction operators (the MPI/NCCL common subset)."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MIN = "min"
+    MAX = "max"
+    AVG = "avg"
+
+    def apply(self, arrays: list[np.ndarray]) -> np.ndarray:
+        """Reduce a list of equally-shaped arrays element-wise."""
+        if not arrays:
+            raise ValueError("reduce of empty list")
+        stack = np.stack(arrays)
+        if self is ReduceOp.SUM:
+            return stack.sum(axis=0, dtype=stack.dtype)
+        if self is ReduceOp.PROD:
+            return stack.prod(axis=0, dtype=stack.dtype)
+        if self is ReduceOp.MIN:
+            return stack.min(axis=0)
+        if self is ReduceOp.MAX:
+            return stack.max(axis=0)
+        if self is ReduceOp.AVG:
+            return (stack.sum(axis=0, dtype=np.float64) / len(arrays)).astype(
+                stack.dtype
+            )
+        raise AssertionError(f"unhandled ReduceOp {self}")  # pragma: no cover
+
+
+class OpFamily(enum.Enum):
+    """Collective operation families (tuning / cost-model granularity)."""
+
+    ALLREDUCE = "allreduce"
+    REDUCE = "reduce"
+    BROADCAST = "broadcast"
+    ALLGATHER = "allgather"
+    REDUCE_SCATTER = "reduce_scatter"
+    ALLTOALL = "alltoall"
+    GATHER = "gather"
+    SCATTER = "scatter"
+    P2P = "p2p"
+    BARRIER = "barrier"
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,294 @@
+"""Executable collective schedules.
+
+The cost models in :mod:`repro.backends.cost` are closed-form formulas;
+this module implements the *actual algorithms* — ring allreduce,
+recursive-doubling allgather, binomial-tree broadcast, and friends — as
+step-by-step schedules executed over MCR-DL's point-to-point layer with
+real data movement.
+
+Two purposes:
+
+* **validation by construction**: tests execute a schedule end-to-end
+  and check (a) the data matches the one-shot collective, and (b) the
+  measured time tracks the analytic formula's round/volume structure;
+* **Option 1 from the paper's problem statement** (§I-A): when a
+  framework lacks a collective, users build it from point-to-point
+  operations.  These schedules are exactly that path, so the
+  "collectives from p2p" productivity/performance trade-off the paper
+  describes is reproducible (see ``benchmarks/test_ablations.py``).
+
+Schedules are lists of rounds; each round is a list of
+:class:`Transfer` steps some subset of ranks participates in.  Within a
+round every rank posts its receives, then its sends, then waits — the
+standard deadlock-free pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.ops import ReduceOp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.comm import MCRCommunicator
+    from repro.sim.process import RankContext
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point move within a round.
+
+    ``src_chunk``/``dst_chunk`` index equal-size chunks of the working
+    buffer; ``reduce`` folds the payload into the destination chunk
+    instead of overwriting it.
+    """
+
+    src: int
+    dst: int
+    src_chunk: int
+    dst_chunk: int
+    reduce: bool = False
+
+
+Schedule = list[list[Transfer]]
+
+
+def _require_power_of_two(p: int, what: str) -> None:
+    if p & (p - 1):
+        raise ValueError(f"{what} requires a power-of-two rank count, got {p}")
+
+
+# ----------------------------------------------------------------------
+# schedule builders
+# ----------------------------------------------------------------------
+
+
+def ring_allreduce_schedule(p: int) -> Schedule:
+    """Baidu-style ring: p-1 reduce-scatter rounds + p-1 allgather rounds
+    over p chunks."""
+    if p == 1:
+        return []
+    rounds: Schedule = []
+    # reduce-scatter phase: in round k, rank r sends chunk (r - k) mod p
+    for k in range(p - 1):
+        rounds.append(
+            [
+                Transfer(
+                    src=r,
+                    dst=(r + 1) % p,
+                    src_chunk=(r - k) % p,
+                    dst_chunk=(r - k) % p,
+                    reduce=True,
+                )
+                for r in range(p)
+            ]
+        )
+    # allgather phase: circulate the finished chunks
+    for k in range(p - 1):
+        rounds.append(
+            [
+                Transfer(
+                    src=r,
+                    dst=(r + 1) % p,
+                    src_chunk=(r + 1 - k) % p,
+                    dst_chunk=(r + 1 - k) % p,
+                    reduce=False,
+                )
+                for r in range(p)
+            ]
+        )
+    return rounds
+
+
+def ring_allgather_schedule(p: int) -> Schedule:
+    """p-1 rounds circulating each rank's contribution around the ring."""
+    if p == 1:
+        return []
+    rounds: Schedule = []
+    for k in range(p - 1):
+        rounds.append(
+            [
+                Transfer(
+                    src=r,
+                    dst=(r + 1) % p,
+                    src_chunk=(r - k) % p,
+                    dst_chunk=(r - k) % p,
+                )
+                for r in range(p)
+            ]
+        )
+    return rounds
+
+
+def recursive_doubling_allgather_schedule(p: int) -> Schedule:
+    """log2(p) rounds; in round k each rank exchanges its accumulated
+    2^k chunks with its partner at distance 2^k."""
+    if p == 1:
+        return []
+    _require_power_of_two(p, "recursive doubling")
+    rounds: Schedule = []
+    for k in range(int(math.log2(p))):
+        dist = 1 << k
+        transfers = []
+        for r in range(p):
+            partner = r ^ dist
+            # rank r owns chunks [base, base + dist) where base aligns to dist
+            base = (r // dist) * dist
+            for offset in range(dist):
+                transfers.append(
+                    Transfer(
+                        src=r,
+                        dst=partner,
+                        src_chunk=base + offset,
+                        dst_chunk=base + offset,
+                    )
+                )
+        rounds.append(transfers)
+    return rounds
+
+
+def binomial_broadcast_schedule(p: int, root: int = 0) -> Schedule:
+    """ceil(log2(p)) rounds; the informed set doubles each round."""
+    if p == 1:
+        return []
+    rounds: Schedule = []
+    informed = 1
+    while informed < p:
+        transfers = []
+        for i in range(min(informed, p - informed)):
+            src = (root + i) % p
+            dst = (root + i + informed) % p
+            transfers.append(Transfer(src=src, dst=dst, src_chunk=0, dst_chunk=0))
+        rounds.append(transfers)
+        informed *= 2
+    return rounds
+
+
+def schedule_stats(schedule: Schedule, p: int) -> dict:
+    """Round count and per-rank peak transfer count — the quantities the
+    alpha-beta formulas charge."""
+    per_round_peak = []
+    for transfers in schedule:
+        sends: dict[int, int] = {}
+        for t in transfers:
+            sends[t.src] = sends.get(t.src, 0) + 1
+        per_round_peak.append(max(sends.values()) if sends else 0)
+    return {
+        "rounds": len(schedule),
+        "total_transfers": sum(len(r) for r in schedule),
+        "peak_sends_per_rank_round": max(per_round_peak, default=0),
+    }
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+
+
+class ScheduleExecutor:
+    """Runs a schedule on one rank over a communicator's p2p layer.
+
+    The working buffer is divided into ``n_chunks`` equal chunks; every
+    rank calls :meth:`run` with its local buffer.  Tags encode
+    (round, destination chunk) so concurrent transfers never mis-match.
+    """
+
+    def __init__(self, ctx: "RankContext", comm: "MCRCommunicator", backend: str):
+        self.ctx = ctx
+        self.comm = comm
+        self.backend = backend
+
+    def run(
+        self,
+        schedule: Schedule,
+        buffer: np.ndarray,
+        n_chunks: int,
+        op: ReduceOp = ReduceOp.SUM,
+    ) -> None:
+        rank = self.comm.rank
+        if buffer.size % n_chunks:
+            raise ValueError(
+                f"buffer size {buffer.size} not divisible into {n_chunks} chunks"
+            )
+        chunk = buffer.size // n_chunks
+        from repro.tensor.tensor import from_numpy
+
+        def view(index: int) -> np.ndarray:
+            return buffer[index * chunk : (index + 1) * chunk]
+
+        for round_id, transfers in enumerate(schedule):
+            recvs = []
+            for t in transfers:
+                if t.dst != rank:
+                    continue
+                tag = (round_id << 8) | t.dst_chunk
+                scratch = np.empty(chunk, dtype=buffer.dtype)
+                handle = self.comm.irecv(
+                    self.backend, from_numpy(scratch, self.ctx.device), src=t.src, tag=tag
+                )
+                recvs.append((handle, scratch, t))
+            for t in transfers:
+                if t.src != rank:
+                    continue
+                tag = (round_id << 8) | t.dst_chunk
+                payload = from_numpy(view(t.src_chunk).copy(), self.ctx.device)
+                self.comm.isend(self.backend, payload, dst=t.dst, tag=tag)
+            for handle, scratch, t in recvs:
+                handle.synchronize()
+                target = view(t.dst_chunk)
+                if t.reduce:
+                    target[:] = op.apply([target, scratch])
+                else:
+                    target[:] = scratch
+
+
+def emulated_all_reduce(
+    ctx: "RankContext",
+    comm: "MCRCommunicator",
+    backend: str,
+    buffer: np.ndarray,
+    op: ReduceOp = ReduceOp.SUM,
+) -> None:
+    """Allreduce built purely from p2p (the paper's §I-A Option 1)."""
+    p = comm.world_size
+    if p == 1:
+        return
+    ScheduleExecutor(ctx, comm, backend).run(
+        ring_allreduce_schedule(p), buffer, n_chunks=p, op=op
+    )
+
+
+def emulated_all_gather(
+    ctx: "RankContext",
+    comm: "MCRCommunicator",
+    backend: str,
+    buffer: np.ndarray,
+) -> None:
+    """Ring allgather from p2p: rank r's contribution pre-loaded in
+    chunk r of ``buffer``."""
+    p = comm.world_size
+    if p == 1:
+        return
+    ScheduleExecutor(ctx, comm, backend).run(
+        ring_allgather_schedule(p), buffer, n_chunks=p
+    )
+
+
+def emulated_broadcast(
+    ctx: "RankContext",
+    comm: "MCRCommunicator",
+    backend: str,
+    buffer: np.ndarray,
+    root: int = 0,
+) -> None:
+    """Binomial-tree broadcast from p2p."""
+    p = comm.world_size
+    if p == 1:
+        return
+    ScheduleExecutor(ctx, comm, backend).run(
+        binomial_broadcast_schedule(p, root), buffer, n_chunks=1
+    )

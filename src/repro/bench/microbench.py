@@ -1,0 +1,123 @@
+"""OMB-style communication micro-benchmarks.
+
+Measurement methodology (paper §VI-A):
+
+* :func:`omb_latency_us` — the OSU Micro-Benchmarks reference: the raw
+  library cost of one operation with no framework layer on top (the C
+  benchmark loops directly over ``MPI_Alltoall``/``ncclAllReduce``).
+* :func:`framework_latency_us` — the same operation issued through a
+  framework (MCR-DL, PyTorch-distributed, ...) inside the simulator, so
+  the framework's dispatch overheads and synchronization scheme are on
+  the measured path.
+* :func:`overhead_pct` — Fig. 7's metric: percent overhead of the
+  framework over the OMB reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.backends.base import create_backend
+from repro.backends.ops import OpFamily
+from repro.cluster.topology import SystemSpec
+from repro.core.config import MCRConfig
+from repro.sim.simulator import Simulator
+
+#: Fig. 2/7 sweep: 1 KiB .. 64 MiB
+MICRO_MESSAGE_SIZES = tuple(1024 * (2**i) for i in range(17))
+
+
+def omb_latency_us(
+    system: SystemSpec,
+    backend_name: str,
+    family: OpFamily,
+    nbytes: int,
+    world_size: int,
+    nonblocking: bool = False,
+) -> float:
+    """C-level reference latency of one collective (no framework)."""
+    backend = create_backend(backend_name, 0, world_size, system)
+    path = system.comm_path(world_size)
+    raw = backend.collective_cost_us(
+        family, nbytes, world_size, path, nonblocking=nonblocking
+    )
+    return raw + backend.call_overhead_us()
+
+
+def framework_latency_us(
+    system: SystemSpec,
+    backend_name: str,
+    family: OpFamily,
+    nbytes: int,
+    world_size: int,
+    config: Optional[MCRConfig] = None,
+    iterations: int = 5,
+    nonblocking: bool = False,
+) -> float:
+    """Per-op latency through a framework's dispatch path (simulated)."""
+    from repro.core.comm import MCRCommunicator
+
+    config = config or MCRConfig()
+    numel = max(world_size, nbytes // 4)
+    numel -= numel % world_size
+
+    def bench(ctx):
+        comm = MCRCommunicator(ctx, [backend_name], config=config, comm_id="omb")
+        x = ctx.virtual_tensor(numel)
+        out = ctx.virtual_tensor(numel)
+        big = ctx.virtual_tensor(numel * ctx.world_size)
+
+        def run_op():
+            if family is OpFamily.ALLREDUCE:
+                h = comm.all_reduce(backend_name, x, async_op=nonblocking)
+            elif family is OpFamily.ALLTOALL:
+                h = comm.all_to_all_single(backend_name, out, x, async_op=nonblocking)
+            elif family is OpFamily.ALLGATHER:
+                h = comm.all_gather(backend_name, big, x, async_op=nonblocking)
+            elif family is OpFamily.BROADCAST:
+                h = comm.bcast(backend_name, x, root=0, async_op=nonblocking)
+            else:
+                raise ValueError(f"microbench does not cover {family}")
+            if h is not None:
+                h.synchronize()
+            else:
+                comm.synchronize(backend_name)
+
+        run_op()  # warmup
+        comm.barrier(backend_name)
+        start = ctx.now
+        for _ in range(iterations):
+            run_op()
+        elapsed = (ctx.now - start) / iterations
+        comm.finalize()
+        return elapsed
+
+    result = Simulator(world_size, system=system).run(bench)
+    return max(result.rank_results)
+
+
+def overhead_pct(framework_us: float, omb_us: float) -> float:
+    """Fig. 7's metric: percent overhead over the OMB reference."""
+    if omb_us <= 0:
+        raise ValueError(f"invalid OMB reference {omb_us}")
+    return (framework_us - omb_us) / omb_us * 100.0
+
+
+def sweep_backends(
+    system: SystemSpec,
+    backends: Sequence[str],
+    family: OpFamily,
+    world_size: int,
+    message_sizes: Sequence[int] = MICRO_MESSAGE_SIZES,
+    nonblocking: bool = False,
+) -> dict[str, list[tuple[int, float]]]:
+    """Fig. 2: OMB latency series per backend over message sizes."""
+    out: dict[str, list[tuple[int, float]]] = {}
+    for backend in backends:
+        series = []
+        for msg in message_sizes:
+            series.append(
+                (msg, omb_latency_us(system, backend, family, msg, world_size, nonblocking))
+            )
+        out[backend] = series
+    return out

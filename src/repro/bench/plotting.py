@@ -1,0 +1,88 @@
+"""Terminal plotting: ASCII line charts for benchmark series.
+
+Good enough to eyeball a figure's shape (crossovers, scaling curves)
+straight from the terminal or a results file, with log-scale support for
+latency-vs-message-size sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: marks assigned to series, in order
+MARKS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-12))
+    return value
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII chart.
+
+    Each series gets a mark from :data:`MARKS`; the legend maps marks to
+    labels.  Points are nearest-cell rasterized; later series overwrite
+    earlier ones where they collide.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    points = [
+        (label, x, y) for label, pts in series.items() for x, y in pts
+    ]
+    if not points:
+        raise ValueError("series contain no points")
+    xs = [_transform(x, log_x) for _, x, _ in points]
+    ys = [_transform(y, log_y) for _, _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (label, pts) in enumerate(series.items()):
+        mark = MARKS[i % len(MARKS)]
+        for x, y in pts:
+            col = round((_transform(x, log_x) - x_lo) / x_span * (width - 1))
+            row = round((_transform(y, log_y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_top = f"{10 ** y_hi:.3g}" if log_y else f"{y_hi:.3g}"
+    y_bot = f"{10 ** y_lo:.3g}" if log_y else f"{y_lo:.3g}"
+    margin = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label:>{margin}} |" + "".join(row))
+    x_lo_lbl = f"{10 ** x_lo:.3g}" if log_x else f"{x_lo:.3g}"
+    x_hi_lbl = f"{10 ** x_hi:.3g}" if log_x else f"{x_hi:.3g}"
+    lines.append(" " * margin + " +" + "-" * width)
+    lines.append(
+        " " * margin + f"  {x_lo_lbl}" + " " * max(1, width - len(x_lo_lbl) - len(x_hi_lbl) - 2) + x_hi_lbl
+    )
+    legend = "  ".join(
+        f"{MARKS[i % len(MARKS)]}={label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def series_from_rows(
+    rows: Sequence[Sequence], x_col: int, y_cols: Mapping[str, int]
+) -> dict[str, list[tuple[float, float]]]:
+    """Build chart series from table rows (as in a Report)."""
+    return {
+        label: [(float(r[x_col]), float(r[col])) for r in rows]
+        for label, col in y_cols.items()
+    }

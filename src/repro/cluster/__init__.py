@@ -1,0 +1,31 @@
+"""Cluster substrate: hardware specs and system topologies.
+
+Models the two machines the paper evaluates on — Lassen (LLNL) and
+ThetaGPU (ALCF) — as parameterized node/link specifications.  The
+communication cost models in :mod:`repro.backends` read interconnect
+latency/bandwidth from here; the workload models in :mod:`repro.models`
+read compute throughput.
+"""
+
+from repro.cluster.hardware import GpuSpec, LinkSpec, NodeSpec, V100, A100, NVLINK2, NVSWITCH, IB_EDR, IB_HDR
+from repro.cluster.topology import SystemSpec, CommPath
+from repro.cluster.systems import lassen, thetagpu, generic_cluster
+from repro.cluster.fattree import FatTreeFabric
+
+__all__ = [
+    "GpuSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "SystemSpec",
+    "CommPath",
+    "V100",
+    "A100",
+    "NVLINK2",
+    "NVSWITCH",
+    "IB_EDR",
+    "IB_HDR",
+    "lassen",
+    "thetagpu",
+    "generic_cluster",
+    "FatTreeFabric",
+]

@@ -1,0 +1,102 @@
+"""Explicit fat-tree fabric model.
+
+The default :class:`~repro.cluster.topology.SystemSpec` folds fabric
+effects into one linear ``fabric_contention`` heuristic.  This module
+models the actual structure both paper systems have — nodes under leaf
+switches, leaves under a (possibly tapered) spine — so per-hop latency
+and oversubscription emerge from the topology instead of a constant.
+
+Pass a :class:`FatTreeFabric` to ``SystemSpec(fabric=...)`` (or use
+``lassen(detailed_fabric=True)``) to switch a system onto it; the
+default ``None`` keeps the calibrated heuristic, so the paper figures
+are unaffected unless explicitly opted in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.hardware import LinkSpec
+
+
+@dataclass(frozen=True)
+class FatTreeFabric:
+    """A two-level (leaf/spine) fat tree.
+
+    Attributes:
+        nodes_per_leaf: compute nodes under one leaf switch.
+        switch_latency_us: per-switch traversal latency (each hop adds
+            this on top of the link's base latency).
+        taper: uplink oversubscription factor in (0, 1]: the ratio of a
+            leaf's uplink bandwidth to its downlink bandwidth.  1.0 is a
+            full-bisection fabric; 0.5 means 2:1 oversubscribed.
+    """
+
+    nodes_per_leaf: int = 18
+    switch_latency_us: float = 0.3
+    taper: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nodes_per_leaf < 1:
+            raise ValueError("nodes_per_leaf must be >= 1")
+        if not 0 < self.taper <= 1.0:
+            raise ValueError(f"taper must be in (0, 1], got {self.taper}")
+        if self.switch_latency_us < 0:
+            raise ValueError("switch_latency_us must be >= 0")
+
+    # -- structure ---------------------------------------------------------
+
+    def leaf_of(self, node: int) -> int:
+        return node // self.nodes_per_leaf
+
+    def same_leaf(self, node_a: int, node_b: int) -> bool:
+        return self.leaf_of(node_a) == self.leaf_of(node_b)
+
+    def switch_hops(self, node_a: int, node_b: int) -> int:
+        """Switches traversed: 1 within a leaf, 3 via the spine."""
+        if node_a == node_b:
+            return 0
+        return 1 if self.same_leaf(node_a, node_b) else 3
+
+    def path_latency_us(self, link: LinkSpec, node_a: int, node_b: int) -> float:
+        """End-to-end latency between two nodes over ``link``."""
+        hops = self.switch_hops(node_a, node_b)
+        if hops == 0:
+            return 0.0
+        return link.latency_us + hops * self.switch_latency_us
+
+    # -- contention -----------------------------------------------------------
+
+    def leaves_spanned(self, n_nodes: int) -> int:
+        return (n_nodes + self.nodes_per_leaf - 1) // self.nodes_per_leaf
+
+    def cross_leaf_fraction(self, n_nodes: int) -> float:
+        """Fraction of node pairs whose traffic crosses the spine
+        (dense packing)."""
+        if n_nodes <= 1:
+            return 0.0
+        full, rem = divmod(n_nodes, self.nodes_per_leaf)
+        sizes = [self.nodes_per_leaf] * full + ([rem] if rem else [])
+        same = sum(s * (s - 1) for s in sizes)
+        total = n_nodes * (n_nodes - 1)
+        return 1.0 - same / total
+
+    def contention(self, n_nodes: int) -> float:
+        """Effective slowdown of inter-node traffic for a densely packed
+        job of ``n_nodes`` nodes.
+
+        Intra-leaf traffic rides the non-blocking leaf; the cross-leaf
+        fraction is throttled by the taper.  A full-bisection fabric
+        (taper=1) has contention 1.0 at every scale.
+        """
+        cross = self.cross_leaf_fraction(n_nodes)
+        if cross == 0.0:
+            return 1.0
+        # cross-leaf bytes pay 1/taper; the blend weights by traffic share
+        return 1.0 + cross * (1.0 / self.taper - 1.0)
+
+    def effective_inter_latency_us(self, link: LinkSpec, n_nodes: int) -> float:
+        """Worst-case per-hop alpha for a job of ``n_nodes`` nodes."""
+        if self.leaves_spanned(n_nodes) <= 1:
+            return link.latency_us + self.switch_latency_us
+        return link.latency_us + 3 * self.switch_latency_us

@@ -1,0 +1,102 @@
+"""Hardware building blocks: GPUs, links, nodes.
+
+Numbers are public datasheet values; where the paper's systems deviate
+(e.g. effective achievable bandwidth vs peak), the effective fraction is
+explicit so calibration stays auditable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Compute characteristics of one GPU model."""
+
+    name: str
+    #: peak dense half-precision throughput (tensor cores), TFLOP/s
+    fp16_tflops: float
+    #: peak single-precision throughput, TFLOP/s
+    fp32_tflops: float
+    #: HBM capacity, GB
+    memory_gb: float
+    #: HBM bandwidth, GB/s
+    memory_bw_gbps: float
+    #: fraction of peak FLOPs a real training kernel sustains
+    compute_efficiency: float = 0.45
+
+    def effective_fp16_flops(self) -> float:
+        """Sustained half-precision FLOP/s."""
+        return self.fp16_tflops * 1e12 * self.compute_efficiency
+
+    def effective_fp32_flops(self) -> float:
+        return self.fp32_tflops * 1e12 * self.compute_efficiency
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point interconnect between two endpoints.
+
+    ``latency_us`` is the one-way small-message latency; ``bandwidth_gbps``
+    is the achievable (not peak) unidirectional bandwidth in GB/s.
+    """
+
+    name: str
+    latency_us: float
+    bandwidth_gbps: float
+
+    def transfer_us(self, nbytes: int) -> float:
+        """alpha-beta time for one message of ``nbytes``."""
+        return self.latency_us + nbytes / (self.bandwidth_gbps * 1e3)  # GB/s -> B/us
+
+    @property
+    def beta_us_per_byte(self) -> float:
+        return 1.0 / (self.bandwidth_gbps * 1e3)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One node: a GPU model, count, and the intra-node fabric."""
+
+    name: str
+    gpu: GpuSpec
+    gpus_per_node: int
+    intra_link: LinkSpec
+    #: host staging bandwidth (PCIe, used by non-CUDA-aware paths), GB/s
+    host_staging_gbps: float = 12.0
+    #: host staging latency per copy, µs
+    host_staging_latency_us: float = 8.0
+
+
+# -- concrete parts ----------------------------------------------------
+
+#: NVIDIA V100 (Lassen variant: 16 GB SXM2)
+V100 = GpuSpec(
+    name="V100-SXM2-16GB",
+    fp16_tflops=125.0,
+    fp32_tflops=15.7,
+    memory_gb=16.0,
+    memory_bw_gbps=900.0,
+)
+
+#: NVIDIA A100 (ThetaGPU DGX variant: 40 GB SXM4)
+A100 = GpuSpec(
+    name="A100-SXM4-40GB",
+    fp16_tflops=312.0,
+    fp32_tflops=19.5,
+    memory_gb=40.0,
+    memory_bw_gbps=1555.0,
+)
+
+#: NVLink 2.0 as wired on Power9/Lassen (per-GPU-pair effective)
+NVLINK2 = LinkSpec(name="NVLink2", latency_us=1.8, bandwidth_gbps=62.0)
+
+#: NVSwitch fabric inside a DGX-A100 (all-to-all, per-GPU effective)
+NVSWITCH = LinkSpec(name="NVSwitch", latency_us=1.5, bandwidth_gbps=230.0)
+
+#: Mellanox InfiniBand EDR (Lassen fat-tree), per-node effective
+IB_EDR = LinkSpec(name="IB-EDR", latency_us=2.8, bandwidth_gbps=21.0)
+
+#: Mellanox InfiniBand HDR (ThetaGPU, 8 NICs per DGX), per-node effective
+IB_HDR = LinkSpec(name="IB-HDR", latency_us=2.2, bandwidth_gbps=150.0)

@@ -1,0 +1,82 @@
+"""Concrete systems from the paper's evaluation (§VI-1)."""
+
+from __future__ import annotations
+
+from repro.cluster.hardware import (
+    A100,
+    IB_EDR,
+    IB_HDR,
+    NVLINK2,
+    NVSWITCH,
+    V100,
+    NodeSpec,
+)
+from repro.cluster.topology import SystemSpec
+
+
+def lassen(max_nodes: int = 792, detailed_fabric: bool = False) -> SystemSpec:
+    """Lassen @ LLNL: 792 nodes x 4 V100 (Power9), IB EDR fat-tree.
+
+    ``detailed_fabric=True`` swaps the linear contention heuristic for
+    an explicit leaf/spine fat-tree model (18 nodes per leaf, 2:1
+    tapered uplinks — Lassen's CORAL-era fabric shape).
+    """
+    node = NodeSpec(
+        name="lassen-node",
+        gpu=V100,
+        gpus_per_node=4,
+        intra_link=NVLINK2,
+        host_staging_gbps=10.0,  # PCIe gen3-era staging on Power9
+        host_staging_latency_us=8.0,
+    )
+    fabric = None
+    if detailed_fabric:
+        from repro.cluster.fattree import FatTreeFabric
+
+        fabric = FatTreeFabric(nodes_per_leaf=18, taper=0.5)
+    return SystemSpec(
+        name="lassen",
+        node=node,
+        inter_link=IB_EDR,
+        max_nodes=max_nodes,
+        fabric_contention=0.6,
+        fabric=fabric,
+    )
+
+
+def thetagpu(max_nodes: int = 24) -> SystemSpec:
+    """ThetaGPU @ ALCF: 24 DGX-A100 nodes (8 GPUs, NVSwitch), IB HDR."""
+    node = NodeSpec(
+        name="dgx-a100",
+        gpu=A100,
+        gpus_per_node=8,
+        intra_link=NVSWITCH,
+        host_staging_gbps=20.0,  # PCIe gen4 staging
+        host_staging_latency_us=6.0,
+    )
+    return SystemSpec(
+        name="thetagpu",
+        node=node,
+        inter_link=IB_HDR,
+        max_nodes=max_nodes,
+        fabric_contention=0.4,
+    )
+
+
+def generic_cluster(
+    gpus_per_node: int = 4, max_nodes: int = 64
+) -> SystemSpec:
+    """A small generic V100 cluster used as the default test system."""
+    node = NodeSpec(
+        name="generic-node",
+        gpu=V100,
+        gpus_per_node=gpus_per_node,
+        intra_link=NVLINK2,
+    )
+    return SystemSpec(
+        name="generic",
+        node=node,
+        inter_link=IB_EDR,
+        max_nodes=max_nodes,
+        fabric_contention=0.5,
+    )

@@ -1,0 +1,1104 @@
+"""The MCR-DL communicator.
+
+One :class:`MCRCommunicator` per rank binds any number of communication
+backends under the unified API of the paper's Listing 1: every
+point-to-point and collective operation — including vectored and
+non-blocking variants — dispatched per call to an explicit backend, or
+to ``"auto"`` for tuning-table selection (§V-F).
+
+Collectives rendezvous through shared simulation state keyed by a
+per-backend sequence number, exactly like communicator-ordered
+collective calls in NCCL/MPI: symmetric programs match up, mismatched
+programs deadlock (and the engine reports it), and argument mismatches
+raise :class:`~repro.core.exceptions.ValidationError` at the rendezvous.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.backends import datapath
+from repro.backends.base import Backend, canonical_name, create_backend
+from repro.backends.ops import OpFamily, ReduceOp
+from repro.core.config import MCRConfig
+from repro.core.exceptions import BackendError, MCRError, ValidationError
+from repro.core.handles import CompletedHandle, WorkHandle
+from repro.core.sync import SyncManager
+from repro.core.tuning import TuningTable
+from repro.sim.engine import Flag
+from repro.sim.graph import CollectiveGroup, resolve
+from repro.sim.process import RankContext
+from repro.tensor import SimTensor
+
+
+@dataclass
+class _Arrival:
+    """One rank's registration at a collective rendezvous."""
+
+    rank: int
+    host_time: float
+    inputs: list[np.ndarray]
+    outputs: list[np.ndarray]
+    extras: dict = field(default_factory=dict)
+
+
+class _Rendezvous:
+    """Shared per-collective matching record."""
+
+    __slots__ = (
+        "key",
+        "expected",
+        "family",
+        "meta",
+        "flag",
+        "stream_kind",
+        "group",
+        "arrivals",
+        "resolved",
+        "claimed",
+        "duration",
+    )
+
+    def __init__(
+        self,
+        key: tuple,
+        expected: int,
+        family: OpFamily,
+        meta: tuple,
+        flag: Flag,
+        stream_kind: bool,
+    ):
+        self.key = key
+        self.expected = expected
+        self.family = family
+        self.meta = meta
+        self.flag = flag
+        self.stream_kind = stream_kind
+        self.group: Optional[CollectiveGroup] = (
+            CollectiveGroup(expected, flag, label=str(key)) if stream_kind else None
+        )
+        self.arrivals: dict[int, _Arrival] = {}
+        self.resolved = False
+        #: set by the rank that takes responsibility for resolution (the
+        #: pre-post host sync can let several ranks observe "all arrived")
+        self.claimed = False
+        #: transfer duration (µs), known once the last rank arrives
+        self.duration: Optional[float] = None
+
+
+class MCRCommunicator:
+    """Per-rank MCR-DL instance over a set of backends.
+
+    Construct one on every rank (same backend list everywhere), usually
+    through :func:`repro.core.api.init`.
+    """
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        backends: "str | Sequence[str]",
+        config: Optional[MCRConfig] = None,
+        tuning_table: Optional[TuningTable] = None,
+        comm_id: str = "world",
+        ranks: Optional[Sequence[int]] = None,
+    ):
+        if isinstance(backends, str):
+            backends = [backends]
+        if not backends:
+            raise BackendError("MCR-DL needs at least one backend")
+        self.ctx = ctx
+        self.config = config or MCRConfig()
+        self.config.validate()
+        self.comm_id = comm_id
+        self.tuning_table = tuning_table
+
+        # process group: the rank subset this communicator spans (like an
+        # MPI sub-communicator / torch.distributed process group)
+        if ranks is None:
+            ranks = range(ctx.world_size)
+        self.group_ranks = list(dict.fromkeys(int(r) for r in ranks))
+        if len(self.group_ranks) != len(list(ranks)):
+            raise BackendError(f"duplicate ranks in group {list(ranks)}")
+        for r in self.group_ranks:
+            if not 0 <= r < ctx.world_size:
+                raise BackendError(f"group rank {r} out of range")
+        if ctx.rank not in self.group_ranks:
+            raise BackendError(
+                f"rank {ctx.rank} constructing a communicator for group "
+                f"{self.group_ranks} it does not belong to"
+            )
+
+        names = [canonical_name(b) for b in backends]
+        if len(set(names)) != len(names):
+            raise BackendError(f"duplicate backends in {list(backends)}")
+        self.backends: dict[str, Backend] = {}
+        for name in names:
+            backend = create_backend(name, ctx.rank, len(self.group_ranks), ctx.system)
+            backend.init()
+            self.ctx.sleep(self.config.backend_init_us, reason=f"init({name})")
+            self.backends[name] = backend
+
+        non_stream = [n for n, b in self.backends.items() if not b.properties.stream_aware]
+        #: footnote 4: mixing more than one non-stream-aware backend is
+        #: suboptimal for overlap; recorded so callers/tests can assert.
+        self.mixing_warning: Optional[str] = None
+        if len(non_stream) > 1:
+            self.mixing_warning = (
+                f"multiple non-stream-aware backends {non_stream}: at most "
+                "one is optimal for overlap (paper §V-D footnote 4)"
+            )
+
+        self.sync = SyncManager(ctx, self.backends, self.config)
+        self._seq: dict[str, int] = defaultdict(int)
+        self._outstanding: dict[str, list[WorkHandle]] = defaultdict(list)
+        self._finalized = False
+
+        self.logger = None
+        if self.config.enable_logging:
+            from repro.ext.logging_ext import CommLogger
+
+            self.logger = CommLogger.shared(ctx)
+
+        self._codec = None
+        if self.config.compression.enabled:
+            from repro.ext.compression import FixedRateCodec
+
+            self._codec = FixedRateCodec(self.config.compression.rate_bits)
+
+        state = ctx.shared.setdefault("mcr_dl", {})
+        self._shared = state.setdefault(
+            (comm_id, tuple(self.group_ranks)),
+            {
+                "rdv": {},
+                "p2p": defaultdict(lambda: {"sends": deque(), "recvs": deque()}),
+            },
+        )
+        # wire lanes are a property of the *fabric*, shared by every
+        # communicator/process group in the job
+        self._channel = state.setdefault("__channel__", defaultdict(float))
+        if len(self.group_ranks) == ctx.world_size:
+            self._comm_path = ctx.system.comm_path(ctx.world_size)
+        else:
+            self._comm_path = ctx.system.comm_path_for_ranks(self.group_ranks)
+
+    # ------------------------------------------------------------------
+    # introspection (Listing 1 head)
+    # ------------------------------------------------------------------
+
+    def get_backends(self) -> list[str]:
+        """Names of the initialized backends, in init order."""
+        return list(self.backends)
+
+    def get_size(self, backend: Optional[str] = None) -> int:
+        self._backend(backend or next(iter(self.backends)))
+        return len(self.group_ranks)
+
+    def get_rank(self, backend: Optional[str] = None) -> int:
+        """This process's rank *within the communicator's group*."""
+        self._backend(backend or next(iter(self.backends)))
+        return self.group_rank
+
+    @property
+    def rank(self) -> int:
+        """Group-local rank (MPI communicator semantics)."""
+        return self.group_rank
+
+    @property
+    def group_rank(self) -> int:
+        return self.group_ranks.index(self.ctx.rank)
+
+    @property
+    def world_size(self) -> int:
+        """Size of this communicator's group."""
+        return len(self.group_ranks)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def synchronize(self, backends: "str | Sequence[str] | None" = None) -> None:
+        """Synchronize one, several, or all backends (§V-D): loop over
+        each backend and apply its native completion semantics."""
+        if backends is None:
+            backends = list(self.backends)
+        elif isinstance(backends, str):
+            backends = [backends]
+        for name in backends:
+            backend = self._backend(name)
+            self.sync.synchronize_backend(backend)
+            pending = self._outstanding.pop(backend.name, [])
+            for handle in pending:
+                handle.synchronize()
+
+    def finalize(self, backends: "str | Sequence[str] | None" = None) -> None:
+        """Drain outstanding work and shut backends down."""
+        if self._finalized:
+            return
+        self.synchronize(backends)
+        for backend in self.backends.values():
+            backend.finalize()
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # collectives (Listing 1)
+    # ------------------------------------------------------------------
+
+    def all_reduce(
+        self,
+        backend: str,
+        tensor: SimTensor,
+        op: ReduceOp = ReduceOp.SUM,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """In-place allreduce of ``tensor`` across all ranks."""
+        buf = self._flat(tensor)
+        nbytes = tensor.nbytes()
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.all_reduce([a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals], op)
+
+        return self._collective(
+            backend, OpFamily.ALLREDUCE, nbytes, [buf], [buf], move,
+            meta=("allreduce", tensor.numel(), tensor.dtype.name, op.value),
+            async_op=async_op, tensors=(tensor,),
+        )
+
+    def reduce(
+        self,
+        backend: str,
+        tensor: SimTensor,
+        root: int = 0,
+        op: ReduceOp = ReduceOp.SUM,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """Reduce into ``tensor`` on ``root`` (other ranks' tensors are inputs)."""
+        self._check_root(root)
+        buf = self._flat(tensor)
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.reduce([a.inputs[0] for a in arrivals], arrivals[root].outputs[0], op)
+
+        return self._collective(
+            backend, OpFamily.REDUCE, tensor.nbytes(), [buf], [buf], move,
+            meta=("reduce", tensor.numel(), tensor.dtype.name, op.value, root),
+            async_op=async_op, tensors=(tensor,),
+        )
+
+    def bcast(
+        self, backend: str, tensor: SimTensor, root: int = 0, async_op: bool = False
+    ) -> Optional[WorkHandle]:
+        """Broadcast ``root``'s tensor into everyone's tensor (in place)."""
+        self._check_root(root)
+        buf = self._flat(tensor)
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.broadcast(arrivals[root].inputs[0], [a.outputs[0] for a in arrivals])
+
+        return self._collective(
+            backend, OpFamily.BROADCAST, tensor.nbytes(), [buf], [buf], move,
+            meta=("bcast", tensor.numel(), tensor.dtype.name, root),
+            async_op=async_op, compressible=False, tensors=(tensor,),
+        )
+
+    broadcast = bcast
+
+    def all_gather(
+        self, backend: str, output: SimTensor, input: SimTensor, async_op: bool = False
+    ) -> Optional[WorkHandle]:
+        """Gather every rank's ``input`` into every rank's ``output``
+        (rank-major order); output numel must be world_size * input numel."""
+        in_buf, out_buf = self._flat(input), self._flat(output)
+        if output.numel() != input.numel() * self.world_size:
+            raise ValidationError(
+                f"all_gather: output numel {output.numel()} != "
+                f"{self.world_size} * {input.numel()}"
+            )
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.all_gather([a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals])
+
+        return self._collective(
+            backend, OpFamily.ALLGATHER, input.nbytes(), [in_buf], [out_buf], move,
+            meta=("all_gather", input.numel(), input.dtype.name),
+            async_op=async_op, compressible=False, tensors=(input, output),
+        )
+
+    #: PyTorch spelling used in the paper's Listing 2
+    all_gather_base = all_gather
+
+    def reduce_scatter(
+        self,
+        backend: str,
+        output: SimTensor,
+        input: SimTensor,
+        op: ReduceOp = ReduceOp.SUM,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """Reduce full ``input`` vectors and scatter 1/p chunks into ``output``."""
+        in_buf, out_buf = self._flat(input), self._flat(output)
+        if input.numel() != output.numel() * self.world_size:
+            raise ValidationError(
+                f"reduce_scatter: input numel {input.numel()} != "
+                f"{self.world_size} * {output.numel()}"
+            )
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.reduce_scatter(
+                [a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals], op
+            )
+
+        return self._collective(
+            backend, OpFamily.REDUCE_SCATTER, input.nbytes(), [in_buf], [out_buf], move,
+            meta=("reduce_scatter", input.numel(), input.dtype.name, op.value),
+            async_op=async_op, tensors=(input, output),
+        )
+
+    def all_to_all_single(
+        self, backend: str, output: SimTensor, input: SimTensor, async_op: bool = False
+    ) -> Optional[WorkHandle]:
+        """Shuffle equal chunks of ``input`` elements across ranks
+        (PyTorch's all_to_all_single)."""
+        in_buf, out_buf = self._flat(input), self._flat(output)
+        if input.numel() != output.numel():
+            raise ValidationError("all_to_all_single: input/output numel differ")
+        if input.numel() % self.world_size != 0:
+            raise ValidationError(
+                f"all_to_all_single: numel {input.numel()} not divisible by "
+                f"world size {self.world_size}"
+            )
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.all_to_all_single(
+                [a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals]
+            )
+
+        return self._collective(
+            backend, OpFamily.ALLTOALL, input.nbytes(), [in_buf], [out_buf], move,
+            meta=("all_to_all_single", input.numel(), input.dtype.name),
+            async_op=async_op, compressible=False, tensors=(input, output),
+        )
+
+    def all_to_all(
+        self,
+        backend: str,
+        output: Sequence[SimTensor],
+        input: Sequence[SimTensor],
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """List-of-tensors alltoall (PyTorch convention, §V-A): rank i's
+        ``input[j]`` lands in rank j's ``output[i]``.  Per-pair sizes may
+        vary but must agree pairwise."""
+        if len(input) != self.world_size or len(output) != self.world_size:
+            raise ValidationError(
+                f"all_to_all: need {self.world_size} tensors per list, got "
+                f"{len(input)}/{len(output)}"
+            )
+        in_bufs = [self._flat(t) for t in input]
+        out_bufs = [self._flat(t) for t in output]
+        nbytes = sum(t.nbytes() for t in input)
+
+        def move(arrivals: list[_Arrival]) -> None:
+            p = len(arrivals)
+            for i in range(p):
+                for j in range(p):
+                    src = arrivals[i].inputs[j]
+                    dst = arrivals[j].outputs[i]
+                    if src.size != dst.size:
+                        raise ValidationError(
+                            f"all_to_all: rank {i}->rank {j} size mismatch "
+                            f"({src.size} vs {dst.size})"
+                        )
+            staged = [[np.array(b, copy=True) for b in a.inputs] for a in arrivals]
+            for i in range(p):
+                for j in range(p):
+                    arrivals[j].outputs[i][:] = staged[i][j]
+
+        return self._collective(
+            backend, OpFamily.ALLTOALL, nbytes, in_bufs, out_bufs, move,
+            meta=("all_to_all", self.world_size),
+            async_op=async_op, compressible=False,
+            tensors=(*input, *output),
+        )
+
+    def gather(
+        self,
+        backend: str,
+        input: SimTensor,
+        output: Optional[SimTensor] = None,
+        root: int = 0,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """Gather every rank's ``input`` into ``output`` on ``root``."""
+        self._check_root(root)
+        in_buf = self._flat(input)
+        out_bufs = []
+        if self.rank == root:
+            if output is None:
+                raise ValidationError("gather: root must pass an output tensor")
+            if output.numel() != input.numel() * self.world_size:
+                raise ValidationError("gather: root output numel mismatch")
+            out_bufs = [self._flat(output)]
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.gather([a.inputs[0] for a in arrivals], arrivals[root].outputs[0])
+
+        return self._collective(
+            backend, OpFamily.GATHER, input.nbytes(), [in_buf], out_bufs, move,
+            meta=("gather", input.numel(), input.dtype.name, root),
+            async_op=async_op, compressible=False, tensors=(input, output),
+        )
+
+    def scatter(
+        self,
+        backend: str,
+        output: SimTensor,
+        input: Optional[SimTensor] = None,
+        root: int = 0,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """Scatter ``root``'s ``input`` in equal chunks into each ``output``."""
+        self._check_root(root)
+        out_buf = self._flat(output)
+        in_bufs = []
+        if self.rank == root:
+            if input is None:
+                raise ValidationError("scatter: root must pass an input tensor")
+            if input.numel() != output.numel() * self.world_size:
+                raise ValidationError("scatter: root input numel mismatch")
+            in_bufs = [self._flat(input)]
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.scatter(arrivals[root].inputs[0], [a.outputs[0] for a in arrivals])
+
+        return self._collective(
+            backend, OpFamily.SCATTER, output.nbytes(), in_bufs, [out_buf], move,
+            meta=("scatter", output.numel(), output.dtype.name, root),
+            async_op=async_op, compressible=False, tensors=(input, output),
+        )
+
+    # -- vectored collectives (§V-A: supported for all backends) ----------
+
+    def gatherv(
+        self,
+        backend: str,
+        input: SimTensor,
+        output: Optional[SimTensor] = None,
+        rcounts: Optional[Sequence[int]] = None,
+        displs: Optional[Sequence[int]] = None,
+        root: int = 0,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """MPI_Gatherv: rank i contributes ``rcounts[i]`` elements, landing
+        at ``displs[i]`` in the root's ``output``."""
+        self._check_root(root)
+        rcounts, displs = self._check_v_args(rcounts, displs)
+        in_buf = self._flat(input)
+        if input.numel() < rcounts[self.rank]:
+            raise ValidationError(
+                f"gatherv: rank {self.rank} input smaller than rcount"
+            )
+        out_bufs = []
+        if self.rank == root:
+            if output is None:
+                raise ValidationError("gatherv: root must pass an output tensor")
+            out_bufs = [self._flat(output)]
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.gather_v(
+                [a.inputs[0] for a in arrivals], arrivals[root].outputs[0], rcounts, displs
+            )
+
+        nbytes = max(rcounts) * input.element_size()
+        return self._collective(
+            backend, OpFamily.GATHER, nbytes, [in_buf], out_bufs, move,
+            meta=("gatherv", tuple(rcounts), tuple(displs), input.dtype.name, root),
+            async_op=async_op, vector=True, compressible=False,
+            tensors=(input, output),
+        )
+
+    def scatterv(
+        self,
+        backend: str,
+        output: SimTensor,
+        input: Optional[SimTensor] = None,
+        scounts: Optional[Sequence[int]] = None,
+        displs: Optional[Sequence[int]] = None,
+        root: int = 0,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """MPI_Scatterv: root sends ``scounts[i]`` elements from offset
+        ``displs[i]`` to rank i."""
+        self._check_root(root)
+        scounts, displs = self._check_v_args(scounts, displs)
+        out_buf = self._flat(output)
+        if output.numel() < scounts[self.rank]:
+            raise ValidationError(
+                f"scatterv: rank {self.rank} output smaller than scount"
+            )
+        in_bufs = []
+        if self.rank == root:
+            if input is None:
+                raise ValidationError("scatterv: root must pass an input tensor")
+            in_bufs = [self._flat(input)]
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.scatter_v(
+                arrivals[root].inputs[0], [a.outputs[0] for a in arrivals], scounts, displs
+            )
+
+        nbytes = max(scounts) * output.element_size()
+        return self._collective(
+            backend, OpFamily.SCATTER, nbytes, in_bufs, [out_buf], move,
+            meta=("scatterv", tuple(scounts), tuple(displs), output.dtype.name, root),
+            async_op=async_op, vector=True, compressible=False,
+            tensors=(input, output),
+        )
+
+    def all_gatherv(
+        self,
+        backend: str,
+        output: SimTensor,
+        input: SimTensor,
+        rcounts: Optional[Sequence[int]] = None,
+        displs: Optional[Sequence[int]] = None,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """MPI_Allgatherv: like gatherv but every rank gets the result."""
+        rcounts, displs = self._check_v_args(rcounts, displs)
+        in_buf, out_buf = self._flat(input), self._flat(output)
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.all_gather_v(
+                [a.inputs[0] for a in arrivals],
+                [a.outputs[0] for a in arrivals],
+                rcounts,
+                displs,
+            )
+
+        nbytes = max(rcounts) * input.element_size()
+        return self._collective(
+            backend, OpFamily.ALLGATHER, nbytes, [in_buf], [out_buf], move,
+            meta=("all_gatherv", tuple(rcounts), tuple(displs), input.dtype.name),
+            async_op=async_op, vector=True, compressible=False,
+            tensors=(input, output),
+        )
+
+    def all_to_allv(
+        self,
+        backend: str,
+        output: SimTensor,
+        input: SimTensor,
+        scounts: Optional[Sequence[int]] = None,
+        sdispls: Optional[Sequence[int]] = None,
+        rcounts: Optional[Sequence[int]] = None,
+        rdispls: Optional[Sequence[int]] = None,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """MPI_Alltoallv: each rank passes its own send/recv count and
+        displacement rows (lengths = world size)."""
+        scounts, sdispls = self._check_v_args(scounts, sdispls)
+        rcounts, rdispls = self._check_v_args(rcounts, rdispls)
+        in_buf, out_buf = self._flat(input), self._flat(output)
+
+        def move(arrivals: list[_Arrival]) -> None:
+            datapath.all_to_all_v(
+                [a.inputs[0] for a in arrivals],
+                [a.outputs[0] for a in arrivals],
+                [a.extras["scounts"] for a in arrivals],
+                [a.extras["sdispls"] for a in arrivals],
+                [a.extras["rcounts"] for a in arrivals],
+                [a.extras["rdispls"] for a in arrivals],
+            )
+
+        nbytes = sum(scounts) * input.element_size()
+        return self._collective(
+            backend, OpFamily.ALLTOALL, nbytes, [in_buf], [out_buf], move,
+            meta=("all_to_allv", self.world_size, input.dtype.name),
+            async_op=async_op, vector=True, compressible=False,
+            tensors=(input, output),
+            extras={
+                "scounts": list(scounts),
+                "sdispls": list(sdispls),
+                "rcounts": list(rcounts),
+                "rdispls": list(rdispls),
+                "_elem_size": input.element_size(),
+            },
+        )
+
+    def barrier(self, backend: Optional[str] = None, async_op: bool = False) -> Optional[WorkHandle]:
+        """Block until every rank arrives (host-blocking on all backends)."""
+        backend = backend or next(iter(self.backends))
+
+        def move(arrivals: list[_Arrival]) -> None:
+            pass
+
+        return self._collective(
+            backend, OpFamily.BARRIER, 0, [], [], move,
+            meta=("barrier",), async_op=async_op, force_host=True, compressible=False,
+        )
+
+    # ------------------------------------------------------------------
+    # point-to-point
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        backend: str,
+        tensor: SimTensor,
+        dst: int,
+        tag: int = 0,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """Send ``tensor`` to rank ``dst`` (rendezvous-protocol semantics:
+        a blocking send completes when the transfer does)."""
+        return self._p2p(backend, tensor, peer=dst, tag=tag, is_send=True, async_op=async_op)
+
+    def recv(
+        self,
+        backend: str,
+        tensor: SimTensor,
+        src: int,
+        tag: int = 0,
+        async_op: bool = False,
+    ) -> Optional[WorkHandle]:
+        """Receive into ``tensor`` from rank ``src``."""
+        return self._p2p(backend, tensor, peer=src, tag=tag, is_send=False, async_op=async_op)
+
+    def isend(self, backend: str, tensor: SimTensor, dst: int, tag: int = 0) -> WorkHandle:
+        return self.send(backend, tensor, dst, tag, async_op=True)
+
+    def irecv(self, backend: str, tensor: SimTensor, src: int, tag: int = 0) -> WorkHandle:
+        return self.recv(backend, tensor, src, tag, async_op=True)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _backend(self, name: str) -> Backend:
+        canon = canonical_name(name)
+        try:
+            return self.backends[canon]
+        except KeyError:
+            raise BackendError(
+                f"backend {name!r} not initialized on this communicator; "
+                f"have {list(self.backends)}"
+            ) from None
+
+    def _flat(self, tensor: SimTensor) -> np.ndarray:
+        if not isinstance(tensor, SimTensor):
+            raise TypeError(f"expected SimTensor, got {type(tensor).__name__}")
+        return tensor.contiguous().view_flat()
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self.world_size:
+            raise ValidationError(f"root {root} out of range [0, {self.world_size})")
+
+    def _check_v_args(
+        self, counts: Optional[Sequence[int]], displs: Optional[Sequence[int]]
+    ) -> tuple[list[int], list[int]]:
+        if counts is None:
+            raise ValidationError("vectored collective requires counts")
+        counts = [int(c) for c in counts]
+        if len(counts) != self.world_size:
+            raise ValidationError(
+                f"counts length {len(counts)} != world size {self.world_size}"
+            )
+        if any(c < 0 for c in counts):
+            raise ValidationError(f"negative count in {counts}")
+        if displs is None:
+            displs = list(np.cumsum([0] + counts[:-1]))
+        displs = [int(d) for d in displs]
+        if len(displs) != self.world_size:
+            raise ValidationError(
+                f"displs length {len(displs)} != world size {self.world_size}"
+            )
+        return counts, displs
+
+    def _resolve_backend(self, name: str, family: OpFamily, nbytes: int) -> Backend:
+        """Resolve an explicit name or the ``"auto"`` tuned choice (§V-F)."""
+        if name != "auto":
+            return self._backend(name)
+        choice = None
+        if self.tuning_table is not None:
+            choice = self.tuning_table.lookup(str(family), self.world_size, nbytes)
+            if choice is not None and canonical_name(choice) not in self.backends:
+                choice = None  # tuned for a backend we did not init
+        if choice is None:
+            choice = self.config.fallback_backend or next(iter(self.backends))
+        return self._backend(choice)
+
+    def _next_seq(self, backend_name: str, family: OpFamily) -> int:
+        key = backend_name
+        self._seq[key] += 1
+        return self._seq[key]
+
+    def _dispatch_cost(self, backend: Backend) -> float:
+        cost = self.config.dispatch_overhead_us + backend.call_overhead_us()
+        scale = getattr(self, "_persistent_scale", None)
+        if scale is not None:
+            # persistent collective start: the argument marshalling and
+            # plan negotiation were paid once at init (ext.persistent)
+            cost *= scale
+        return cost
+
+    def _collective(
+        self,
+        backend_name: str,
+        family: OpFamily,
+        nbytes: int,
+        inputs: list[np.ndarray],
+        outputs: list[np.ndarray],
+        move: Callable[[list[_Arrival]], None],
+        meta: tuple,
+        async_op: bool,
+        vector: bool = False,
+        force_host: bool = False,
+        compressible: bool = True,
+        extras: Optional[dict] = None,
+        tensors: tuple = (),
+    ) -> Optional[WorkHandle]:
+        # virtual (timing-only) tensors: charge full communication time
+        # but skip the data plane (workload modeling; see SimTensor docs)
+        timing_only = any(t is not None and t.is_virtual for t in tensors)
+        if self._finalized:
+            raise MCRError("communicator already finalized")
+        ctx = self.ctx
+        backend = self._resolve_backend(backend_name, family, nbytes)
+        label = f"{family}:{backend.name}"
+
+        # host dispatch: thin Python layer + backend call overhead (C3)
+        ctx.sleep(self._dispatch_cost(backend), reason=f"dispatch({label})")
+
+        # compression (§V-E): shrink the wire size, model codec kernels,
+        # and apply the real quantization error to the data
+        codec = None
+        wire_bytes = nbytes
+        codec_us = 0.0
+        if (
+            self._codec is not None
+            and compressible
+            and str(family) in self.config.compression.families
+        ):
+            codec = self._codec
+            wire_bytes = codec.compressed_nbytes(nbytes)
+            codec_us = codec.codec_time_us(nbytes)
+
+        if self.world_size == 1:
+            if not timing_only:
+                for a_in, a_out in zip(inputs, outputs):
+                    if a_in is not a_out:
+                        a_out[:] = a_in
+            handle = CompletedHandle(ctx, backend.name, label)
+            self._log(family, backend, nbytes, ctx.now, ctx.now, async_op)
+            if async_op:
+                return handle
+            return None
+
+    # rendezvous ---------------------------------------------------
+
+        stream_kind = self.sync.uses_streams(backend) and not force_host
+        if self.config.synchronization == "naive":
+            stream_kind = not force_host  # posted to the default stream
+        seq = self._next_seq(backend.name, family)
+        key = (self.comm_id, backend.name, seq)
+        rdv_table = self._shared["rdv"]
+        meta = (*meta, "virtual" if timing_only else "real")
+        rdv = rdv_table.get(key)
+        if rdv is None:
+            rdv = _Rendezvous(
+                key, self.world_size, family, meta, ctx.new_flag(label), stream_kind
+            )
+            rdv_table[key] = rdv
+        if rdv.meta != meta or rdv.family is not family:
+            raise ValidationError(
+                f"collective mismatch at {key}: rank {ctx.rank} posted "
+                f"{family}/{meta}, expected {rdv.family}/{rdv.meta}"
+            )
+        if ctx.rank in rdv.arrivals:
+            raise ValidationError(f"rank {ctx.rank} arrived twice at {key}")
+
+        arrival = _Arrival(
+            rank=ctx.rank,
+            host_time=ctx.now,
+            inputs=inputs,
+            outputs=outputs,
+            extras=extras or {},
+        )
+        rdv.arrivals[ctx.rank] = arrival
+
+        member_node = None
+        if stream_kind:
+            self.sync.pre_post(backend)
+            stream = self.sync.pick_stream(backend, wire_bytes)
+            producer = ctx.gpu.default_stream.last
+            member_node = stream.enqueue_collective_member(
+                rdv.group,
+                deps=[producer] if producer is not None else [],
+                label=label,
+                category="comm",
+            )
+        else:
+            self.sync.pre_post(backend)
+            arrival.host_time = ctx.now  # pre_post may have advanced time
+
+        last = len(rdv.arrivals) == self.world_size and not rdv.claimed
+        if last:
+            rdv.claimed = True
+            if vector and family is OpFamily.ALLTOALL:
+                # an imbalanced alltoallv runs at the pace of its heaviest
+                # sender or receiver (the straggler destination), not this
+                # rank's own volume
+                wire_bytes = max(wire_bytes, self._alltoallv_critical_bytes(rdv))
+            duration = backend.collective_cost_us(
+                family,
+                wire_bytes,
+                self.world_size,
+                self._comm_path,
+                vector=vector,
+                nonblocking=async_op,
+            )
+            duration *= 1.0 + self.config.dispatch_fraction
+            duration += codec_us
+            if self.config.force_host_staging:
+                # Listing-2 style device->host->device copies around the op
+                duration += 2.0 * ctx.system.host_staging_us(wire_bytes)
+            ordered = [rdv.arrivals[r] for r in self.group_ranks]
+
+            def on_resolve() -> None:
+                if not timing_only:
+                    if codec is not None:
+                        for a in ordered:
+                            for buf in a.inputs:
+                                codec.apply_quantization_error(buf)
+                    move(ordered)
+                rdv.resolved = True
+
+            del rdv_table[key]
+            # Bandwidth-bound ops serialize per wire lane (§V-C:
+            # "concurrent large-message operations are bandwidth-bound and
+            # show no benefit"); latency-bound small ops overlap freely.
+            # Two lanes model the two injection paths of a GPU node:
+            # GPU-initiated (NCCL-family) and host-initiated RDMA (MPI) —
+            # which is also why mixing more than one backend of the same
+            # kind buys nothing (paper §V-D footnote 4).
+            is_large = wire_bytes >= self.config.large_message_threshold
+            lane = (
+                "wire:stream" if backend.properties.stream_aware else "wire:host"
+            )
+            interference = getattr(ctx.system, "cross_path_interference", 0.6)
+            rdv.duration = duration  # before fire: deferred log emits read it
+            if stream_kind:
+                rdv.group.duration = duration
+                rdv.group.on_resolve = on_resolve
+                if is_large and family is not OpFamily.BARRIER:
+                    rdv.group.channel_store = self._channel
+                    rdv.group.channel_key = lane
+                    rdv.group.interference = interference
+                resolve(rdv.group, ctx.engine)
+            else:
+                from repro.sim.graph import apply_wire_lane
+
+                channel = self._channel
+                start = max(a.host_time for a in ordered)
+                if is_large:
+                    start = apply_wire_lane(
+                        channel, lane, start, duration, interference
+                    )
+                end = start + duration
+                on_resolve()
+                self._trace_host_collective(ordered, label, start, end)
+                rdv.flag.fire(end)
+
+        # wait() semantics: stream-aware libraries synchronize through
+        # CUDA events (host never blocks); MPI libraries complete through
+        # MPI_Wait on the host even when their traffic rides MCR-managed
+        # streams (mcr-managed mode only changes *where* the transfer
+        # overlaps, not how completion is observed).
+        handle = WorkHandle(
+            ctx,
+            backend.name,
+            rdv.flag,
+            member_node,
+            stream_semantics=(
+                stream_kind
+                and backend.properties.stream_aware
+                and self.config.synchronization != "naive"
+            ),
+            label=label,
+        )
+        self._log_on_flag(family, backend, nbytes, rdv.flag, async_op, rdv)
+        if async_op:
+            self._outstanding[backend.name].append(handle)
+            return handle
+        handle.wait()
+        if self.config.synchronization == "naive":
+            # naive scheme additionally host-blocks (Fig. 4a)
+            handle.synchronize()
+        return None
+
+    def _alltoallv_critical_bytes(self, rdv: _Rendezvous) -> int:
+        """Heaviest per-rank send or receive volume of an alltoallv."""
+        arrivals = [rdv.arrivals[r] for r in self.group_ranks if r in rdv.arrivals]
+        if not arrivals or "scounts" not in arrivals[0].extras:
+            return 0
+        elem = arrivals[0].extras.get("_elem_size", 4)
+        send_totals = [sum(a.extras["scounts"]) for a in arrivals]
+        p = len(arrivals)
+        recv_totals = [
+            sum(a.extras["scounts"][j] for a in arrivals) for j in range(p)
+        ]
+        return max(max(send_totals), max(recv_totals)) * elem
+
+    def _trace_host_collective(
+        self, ordered: list[_Arrival], label: str, start: float, end: float
+    ) -> None:
+        tracer = self.ctx.gpu.tracer
+        if tracer is None:
+            return
+        for a in ordered:
+            tracer.record(
+                rank=a.rank, stream="mpi-host", label=label, category="comm",
+                start=start, end=end,
+            )
+
+    def _p2p(
+        self,
+        backend_name: str,
+        tensor: SimTensor,
+        peer: int,
+        tag: int,
+        is_send: bool,
+        async_op: bool,
+    ) -> Optional[WorkHandle]:
+        ctx = self.ctx
+        if not 0 <= peer < self.world_size:
+            raise ValidationError(f"peer {peer} out of range")
+        peer_global = self.group_ranks[peer]
+        if peer_global == ctx.rank:
+            raise ValidationError("p2p with self is not supported")
+        backend = self._resolve_backend(backend_name, OpFamily.P2P, tensor.nbytes())
+        label = f"{'send' if is_send else 'recv'}:{backend.name}"
+        ctx.sleep(self._dispatch_cost(backend), reason=f"dispatch({label})")
+
+        src, dst = (ctx.rank, peer_global) if is_send else (peer_global, ctx.rank)
+        chan = self._shared["p2p"][(backend.name, src, dst, tag)]
+        mine, theirs = ("sends", "recvs") if is_send else ("recvs", "sends")
+        buf = self._flat(tensor)
+
+        if chan[theirs]:
+            other_buf, other_time, flag, other_virtual = chan[theirs].popleft()
+            timing_only = tensor.is_virtual or other_virtual
+            send_buf, recv_buf = (buf, other_buf) if is_send else (other_buf, buf)
+            if not timing_only and send_buf.size != recv_buf.size:
+                raise ValidationError(
+                    f"p2p size mismatch: send {send_buf.size} vs recv {recv_buf.size}"
+                )
+            cost = backend.p2p_cost_us(
+                tensor.nbytes(), ctx.system.same_node(src, dst)
+            ) * (1.0 + self.config.dispatch_fraction)
+            end = max(ctx.now, other_time) + cost
+            if not timing_only:
+                recv_buf[:] = send_buf
+            if not flag.is_set:  # eager sends fire their flag at post time
+                flag.fire(end)
+            if not is_send:
+                # the receiver's own completion is the transfer end
+                my_flag = ctx.new_flag(label)
+                my_flag.fire(end)
+                flag = my_flag
+            if self.logger is not None:
+                # one record per endpoint (the queued peer cannot know the
+                # transfer duration, so the matching side logs for both)
+                for endpoint in (ctx.rank, peer):
+                    self.logger.log(
+                        rank=endpoint,
+                        family=str(OpFamily.P2P),
+                        backend=backend.name,
+                        nbytes=tensor.nbytes(),
+                        start=end - cost,
+                        end=end,
+                        async_op=async_op,
+                    )
+            handle = WorkHandle(ctx, backend.name, flag, None, False, label)
+        else:
+            flag = ctx.new_flag(label)
+            if is_send and tensor.nbytes() <= self.config.eager_threshold:
+                # eager protocol: buffer the payload so the sender can
+                # return (and reuse its tensor) before the match
+                if not tensor.is_virtual:
+                    buf = buf.copy()
+                flag.fire(ctx.now)
+            chan[mine].append((buf, ctx.now, flag, tensor.is_virtual))
+            handle = WorkHandle(ctx, backend.name, flag, None, False, label)
+
+        if async_op:
+            self._outstanding[backend.name].append(handle)
+            return handle
+        handle.synchronize()
+        return None
+
+    # -- logging -----------------------------------------------------------
+
+    def _log(
+        self,
+        family: OpFamily,
+        backend: Backend,
+        nbytes: int,
+        start: float,
+        end: float,
+        async_op: bool,
+    ) -> None:
+        if self.logger is not None:
+            self.logger.log(
+                rank=self.ctx.rank,
+                family=str(family),
+                backend=backend.name,
+                nbytes=nbytes,
+                start=start,
+                end=end,
+                async_op=async_op,
+            )
+
+    def _log_on_flag(
+        self,
+        family: OpFamily,
+        backend: Backend,
+        nbytes: int,
+        flag: Flag,
+        async_op: bool,
+        rdv: Optional[_Rendezvous] = None,
+    ) -> None:
+        """Log once the completion time is known (flag fired).
+
+        Records the *transfer* interval (completion minus duration), not
+        post-to-completion — queueing behind other traffic is not
+        communication time (it would double-count in the breakdowns).
+        """
+        if self.logger is None:
+            return
+        logger = self.logger
+        rank = self.ctx.rank
+        post_time = self.ctx.now
+
+        def emit() -> None:
+            end = flag.ready_time
+            duration = rdv.duration if rdv is not None and rdv.duration else None
+            start = end - duration if duration is not None else post_time
+            logger.log(
+                rank=rank,
+                family=str(family),
+                backend=backend.name,
+                nbytes=nbytes,
+                start=start,
+                end=end,
+                async_op=async_op,
+            )
+
+        if flag.is_set:
+            emit()
+        else:
+            logger.defer(flag, emit)

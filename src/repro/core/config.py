@@ -1,0 +1,95 @@
+"""MCR-DL runtime configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CompressionConfig:
+    """Lossy communication compression (paper §V-E, zfp-style).
+
+    ``rate_bits`` is the fixed number of bits per element after
+    compression (a fixed-rate codec like zfp's fixed-rate mode); 8 means
+    4x compression for float32 payloads.
+    """
+
+    enabled: bool = False
+    rate_bits: int = 8
+    #: ops eligible for compression (gradients tolerate loss; indices do not)
+    families: tuple[str, ...] = ("allreduce", "reduce_scatter", "allgather")
+
+
+@dataclass
+class MCRConfig:
+    """Configuration of one MCR-DL communicator.
+
+    The defaults model the paper's implementation: a C++ backbone under a
+    thin Python layer (low fixed dispatch cost, tiny proportional cost)
+    and fine-grained CUDA-event synchronization with a pool of
+    communication streams per backend (§V-C).
+    """
+
+    #: fixed host-side cost of one MCR-DL API call, µs (C++ backbone,
+    #: thin Python layer — paper C3)
+    dispatch_overhead_us: float = 1.2
+    #: proportional overhead on top of the raw backend time (argument
+    #: checking / tensor introspection in the thin layer)
+    dispatch_fraction: float = 0.01
+
+    #: communication streams per stream-aware backend.  Multiple streams
+    #: enable concurrent small-message operations; large messages are
+    #: bandwidth-bound and always use stream 0 (§V-C).
+    streams_per_backend: int = 4
+    #: messages at or above this size are pinned to stream 0, bytes
+    large_message_threshold: int = 64 * 1024
+    #: point-to-point eager protocol threshold, bytes: a blocking send at
+    #: or below this completes locally (buffered) without waiting for the
+    #: matching receive, as in real MPI
+    eager_threshold: int = 64 * 1024
+
+    #: "mpi-managed": let the MPI library handle streams — the host
+    #: synchronizes the default stream before posting, preserving any
+    #: multi-stream logic inside MPI (§V-D option 1).
+    #: "mcr-managed": intercept and manage streams inside MCR-DL — full
+    #: overlap across backends, invalid for MPI builds with internal
+    #: multi-stream logic (§V-D option 2).
+    mpi_stream_mode: str = "mcr-managed"
+    #: set when the MPI build is known to use internal multi-stream
+    #: logic; combined with "mcr-managed" this raises ConfigurationError
+    mpi_internal_multistream: bool = False
+
+    #: "fine-grained": MCR-DL's CUDA-event scheme (Fig. 4b).
+    #: "naive": every op posts to the default stream and host-blocks
+    #: (Fig. 4a) — kept for the serialization/deadlock comparisons.
+    synchronization: str = "fine-grained"
+
+    #: per-backend library initialization cost, µs (paper §V-D notes the
+    #: multi-library init overhead amortizes within <10 training steps)
+    backend_init_us: float = 25.0
+
+    #: record every communication op (drives Figures 1 and 12)
+    enable_logging: bool = False
+
+    compression: CompressionConfig = field(default_factory=CompressionConfig)
+
+    #: backend used when "auto" is requested but no tuning table entry
+    #: matches; None = first initialized backend
+    fallback_backend: Optional[str] = None
+
+    #: stage every tensor through host memory around each operation —
+    #: the pre-CUDA-aware mpi4py pattern of the paper's Listing 2
+    #: (cupy -> numpy -> MPI -> numpy -> cupy); used by the mpi4py
+    #: baseline framework, not by MCR-DL itself
+    force_host_staging: bool = False
+
+    def validate(self) -> None:
+        if self.mpi_stream_mode not in ("mpi-managed", "mcr-managed"):
+            raise ValueError(f"bad mpi_stream_mode {self.mpi_stream_mode!r}")
+        if self.synchronization not in ("fine-grained", "naive"):
+            raise ValueError(f"bad synchronization {self.synchronization!r}")
+        if self.streams_per_backend < 1:
+            raise ValueError("streams_per_backend must be >= 1")
+        if not 0 <= self.dispatch_fraction < 1:
+            raise ValueError("dispatch_fraction must be in [0, 1)")

@@ -1,0 +1,30 @@
+"""MCR-DL error types."""
+
+from __future__ import annotations
+
+
+class MCRError(RuntimeError):
+    """Base class for MCR-DL runtime errors."""
+
+
+class BackendError(MCRError):
+    """Backend missing, not initialized, or incompatible."""
+
+
+class ValidationError(MCRError):
+    """Cross-rank argument mismatch detected at a rendezvous.
+
+    MCR-DL validates that every participant posted the same operation
+    with compatible sizes — the "data validation issues" the paper's
+    synchronization design promises to take off the programmer's plate
+    (§V-C).
+    """
+
+
+class TuningError(MCRError):
+    """Tuning-table lookup or construction failure."""
+
+
+class ConfigurationError(MCRError):
+    """Invalid MCR-DL configuration (e.g. intercepting streams of an MPI
+    library that uses internal multi-stream logic, §V-D option 2)."""

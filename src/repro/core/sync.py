@@ -1,0 +1,138 @@
+"""Per-backend communication-stream pools and synchronization strategy.
+
+MCR-DL creates a pool of communication streams for *each* backend
+(paper §V-C): multiple streams let small-message operations run
+concurrently, while each backend owning its own streams is what enables
+overlap *across* backends (§V-D).  Host-synchronized MPI backends are
+handled according to the configured stream mode:
+
+* ``mpi-managed`` — MPI owns its streams; MCR-DL synchronizes the
+  default stream on the host before posting (safe, less overlap);
+* ``mcr-managed`` — MCR-DL intercepts stream creation and runs MPI
+  traffic on its own comm streams (full overlap, invalid if the MPI
+  build uses internal multi-stream logic).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.backends.base import Backend
+from repro.core.config import MCRConfig
+from repro.core.exceptions import ConfigurationError
+from repro.sim.streams import Stream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.process import RankContext
+
+
+class StreamPool:
+    """Round-robin pool of communication streams for one backend."""
+
+    def __init__(self, ctx: "RankContext", backend_name: str, size: int, large_threshold: int):
+        self.ctx = ctx
+        self.backend_name = backend_name
+        self.streams = [
+            ctx.stream(f"{backend_name}:comm{i}") for i in range(size)
+        ]
+        self.large_threshold = large_threshold
+        self._next = 0
+
+    def pick(self, nbytes: int) -> Stream:
+        """Stream selection policy from §V-C: concurrent streams for
+        small messages, a single stream for bandwidth-bound large ones."""
+        if nbytes >= self.large_threshold:
+            return self.streams[0]
+        stream = self.streams[self._next % len(self.streams)]
+        self._next += 1
+        return stream
+
+    def synchronize(self) -> None:
+        for stream in self.streams:
+            stream.synchronize()
+
+
+class SyncManager:
+    """Owns every backend's stream pool and the global sync policy."""
+
+    def __init__(self, ctx: "RankContext", backends: dict[str, Backend], config: MCRConfig):
+        self.ctx = ctx
+        self.config = config
+        self.pools: dict[str, StreamPool] = {}
+        for name, backend in backends.items():
+            if self._uses_mcr_streams(backend):
+                self.pools[name] = StreamPool(
+                    ctx, name, config.streams_per_backend, config.large_message_threshold
+                )
+        if (
+            config.mpi_stream_mode == "mcr-managed"
+            and config.mpi_internal_multistream
+            and any(not b.properties.stream_aware for b in backends.values())
+        ):
+            raise ConfigurationError(
+                "mcr-managed stream interception is unsafe for an MPI build "
+                "with internal multi-stream logic (paper §V-D); use "
+                "mpi_stream_mode='mpi-managed'"
+            )
+
+    def _uses_mcr_streams(self, backend: Backend) -> bool:
+        """Whether this backend's traffic rides MCR-managed comm streams."""
+        if backend.properties.stream_aware:
+            return True
+        return (
+            self.config.mpi_stream_mode == "mcr-managed"
+            and backend.properties.cuda_aware
+        )
+
+    def uses_streams(self, backend: Backend) -> bool:
+        return backend.name in self.pools
+
+    def pool(self, backend_name: str) -> StreamPool:
+        return self.pools[backend_name]
+
+    def pick_stream(self, backend: Backend, nbytes: int) -> Stream:
+        if self.config.synchronization == "naive":
+            # naive scheme (Fig. 4a): everything on the default stream
+            return self.ctx.gpu.default_stream
+        return self.pools[backend.name].pick(nbytes)
+
+    def pre_post(self, backend: Backend) -> None:
+        """Host-side synchronization required *before* posting an op.
+
+        For non-stream-aware MPI under ``mpi-managed``, CUDA-aware MPI
+        gives no stream-ordering guarantees, so MCR-DL synchronizes the
+        default stream first — the safety/overlap trade-off of §V-D
+        option 1.
+        """
+        if self.config.synchronization == "naive":
+            self.ctx.gpu.default_stream.synchronize()
+            return
+        if not backend.properties.stream_aware and backend.name not in self.pools:
+            self.ctx.gpu.default_stream.synchronize()
+
+    def synchronize_backend(self, backend: Backend) -> None:
+        """The per-backend piece of ``mcr_dl.synchronize()`` (§V-D): loop
+        over each backend and apply its native synchronization."""
+        if backend.name in self.pools:
+            self.pools[backend.name].synchronize()
+        # host-synchronized backends complete at their wait()s; any
+        # outstanding requests are tracked and drained by the communicator.
+
+    def least_busy_backend(self, names: list[str]) -> str:
+        """Pick the backend whose comm streams are least loaded — used by
+        the tensor-fusion timeout flush (§V-E) to overlap across
+        backends' fusion buffers."""
+        def load(name: str) -> float:
+            pool = self.pools.get(name)
+            if pool is None:
+                return 0.0
+            total = 0.0
+            for stream in pool.streams:
+                node = stream.last
+                if node is not None and node.resolved:
+                    total += max(0.0, node.end - self.ctx.now)
+                elif node is not None:
+                    total += 1e9  # unresolved: effectively busy
+            return total
+
+        return min(names, key=load)

@@ -1,0 +1,193 @@
+"""The MCR-DL tuning suite (paper §V-F, C5).
+
+Runs communication micro-benchmarks for every (backend, operation,
+message size, world size) combination and records the winner in a
+:class:`~repro.core.tuning.TuningTable` for later use by the ``"auto"``
+backend.
+
+Two measurement modes:
+
+* ``simulated`` — actually runs the discrete-event simulator with an
+  MCR-DL communicator issuing the operation in a timed loop (this is
+  what the paper's suite does with OMB-style scripts);
+* ``analytic`` — prices the operation directly from the backend cost
+  model plus per-call overheads.  Orders of magnitude faster for wide
+  sweeps; the test suite verifies both modes agree on rankings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.backends.base import create_backend
+from repro.backends.ops import OpFamily
+from repro.cluster.topology import SystemSpec
+from repro.core.config import MCRConfig
+from repro.core.exceptions import TuningError
+from repro.core.tuning import TuningTable
+
+#: default sweep, 256 B .. 64 MiB in powers of two
+DEFAULT_MESSAGE_SIZES = tuple(256 * (2**i) for i in range(19))
+
+DEFAULT_OPS = (
+    OpFamily.ALLREDUCE,
+    OpFamily.ALLGATHER,
+    OpFamily.ALLTOALL,
+    OpFamily.REDUCE_SCATTER,
+    OpFamily.BROADCAST,
+    OpFamily.GATHER,
+    OpFamily.SCATTER,
+    OpFamily.REDUCE,
+)
+
+
+@dataclass
+class TuningSample:
+    """One micro-benchmark measurement."""
+
+    op: str
+    backend: str
+    world_size: int
+    msg_bytes: int
+    latency_us: float
+
+
+@dataclass
+class TuningReport:
+    """All samples from one tuning run plus the resulting table."""
+
+    table: TuningTable
+    samples: list[TuningSample] = field(default_factory=list)
+
+    def samples_for(self, op: str, world_size: int, msg_bytes: int) -> list[TuningSample]:
+        return [
+            s
+            for s in self.samples
+            if s.op == op and s.world_size == world_size and s.msg_bytes == msg_bytes
+        ]
+
+
+class Tuner:
+    """Builds tuning tables for a system over a set of backends."""
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        backends: Sequence[str],
+        config: Optional[MCRConfig] = None,
+        mode: str = "analytic",
+        iterations: int = 5,
+        warmup: int = 1,
+    ):
+        if mode not in ("analytic", "simulated"):
+            raise TuningError(f"unknown tuning mode {mode!r}")
+        if not backends:
+            raise TuningError("tuner needs at least one backend")
+        self.system = system
+        self.backends = list(backends)
+        self.config = config or MCRConfig()
+        self.mode = mode
+        self.iterations = iterations
+        self.warmup = warmup
+
+    # -- measurement --------------------------------------------------------
+
+    def measure(
+        self, backend_name: str, op: OpFamily, msg_bytes: int, world_size: int
+    ) -> float:
+        """End-to-end per-operation latency in µs."""
+        if self.mode == "analytic":
+            return self._measure_analytic(backend_name, op, msg_bytes, world_size)
+        return self._measure_simulated(backend_name, op, msg_bytes, world_size)
+
+    def _measure_analytic(
+        self, backend_name: str, op: OpFamily, msg_bytes: int, world_size: int
+    ) -> float:
+        backend = create_backend(backend_name, 0, world_size, self.system)
+        path = self.system.comm_path(world_size)
+        raw = backend.collective_cost_us(op, msg_bytes, world_size, path)
+        raw *= 1.0 + self.config.dispatch_fraction
+        return raw + self.config.dispatch_overhead_us + backend.call_overhead_us()
+
+    def _measure_simulated(
+        self, backend_name: str, op: OpFamily, msg_bytes: int, world_size: int
+    ) -> float:
+        from repro.core.comm import MCRCommunicator
+        from repro.sim.simulator import Simulator
+        from repro.tensor.dtypes import float32
+
+        iters, warmup = self.iterations, self.warmup
+        numel = max(1, msg_bytes // float32.itemsize)
+        config = self.config
+
+        def bench(ctx):
+            comm = MCRCommunicator(ctx, [backend_name], config=config)
+            x = ctx.zeros(numel)
+            out = ctx.zeros(numel * ctx.world_size)
+            big = ctx.zeros(numel * ctx.world_size)
+
+            def run_op():
+                if op is OpFamily.ALLREDUCE:
+                    comm.all_reduce(backend_name, x)
+                elif op is OpFamily.ALLGATHER:
+                    comm.all_gather(backend_name, out, x)
+                elif op is OpFamily.ALLTOALL:
+                    comm.all_to_all_single(backend_name, big, big)
+                elif op is OpFamily.REDUCE_SCATTER:
+                    small = ctx.zeros(max(1, numel // ctx.world_size))
+                    pad = ctx.zeros(small.numel() * ctx.world_size)
+                    comm.reduce_scatter(backend_name, small, pad)
+                elif op is OpFamily.BROADCAST:
+                    comm.bcast(backend_name, x, root=0)
+                elif op is OpFamily.REDUCE:
+                    comm.reduce(backend_name, x, root=0)
+                elif op is OpFamily.GATHER:
+                    comm.gather(backend_name, x, out if ctx.rank == 0 else None, root=0)
+                elif op is OpFamily.SCATTER:
+                    comm.scatter(backend_name, x, big if ctx.rank == 0 else None, root=0)
+                else:
+                    raise TuningError(f"tuner cannot benchmark {op}")
+                comm.synchronize(backend_name)
+
+            for _ in range(warmup):
+                run_op()
+            comm.barrier(backend_name)
+            start = ctx.now
+            for _ in range(iters):
+                run_op()
+            elapsed = ctx.now - start
+            comm.finalize()
+            return elapsed / iters
+
+        from repro.cluster import SystemSpec as _S  # noqa: F401 (doc aid)
+
+        result = Simulator(world_size, system=self.system).run(bench)
+        return max(result.rank_results)
+
+    # -- sweep ------------------------------------------------------------
+
+    def build_table(
+        self,
+        world_sizes: Sequence[int],
+        message_sizes: Sequence[int] = DEFAULT_MESSAGE_SIZES,
+        ops: Sequence[OpFamily] = DEFAULT_OPS,
+    ) -> TuningReport:
+        """Benchmark every combination and record the per-cell winner."""
+        table = TuningTable(system=self.system.name)
+        report = TuningReport(table=table)
+        for op in ops:
+            for ws in world_sizes:
+                if ws < 2:
+                    raise TuningError("tuning needs world sizes >= 2")
+                for msg in message_sizes:
+                    best_backend, best_latency = None, float("inf")
+                    for backend in self.backends:
+                        latency = self.measure(backend, op, msg, ws)
+                        report.samples.append(
+                            TuningSample(str(op), backend, ws, msg, latency)
+                        )
+                        if latency < best_latency:
+                            best_backend, best_latency = backend, latency
+                    table.add(str(op), ws, msg, best_backend)
+        return report

@@ -1,0 +1,121 @@
+"""Static tuning tables (paper §V-F, Table II).
+
+A tuning table maps ``(operation, world size, message size)`` to the
+best-performing backend.  Entries are first keyed by world size, then by
+message size (the paper's indexing order); lookups snap the message size
+to its power-of-two bucket and the world size to the nearest benchmarked
+scale, so a table trained over {8, 16, 32, 64} still serves a 48-GPU
+run.  Total entries = Num_Collectives x Num_Scales x Num_Message_Sizes.
+
+Tables are per-system artifacts (the paper: "tuning tables are not
+transferable across HPC systems") — :meth:`TuningTable.save` records the
+system name and :meth:`TuningTable.load` can enforce it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.core.exceptions import TuningError
+
+
+def message_bucket(nbytes: int) -> int:
+    """Snap a byte count to its power-of-two bucket (>= 1)."""
+    if nbytes <= 1:
+        return 1
+    return 1 << round(math.log2(nbytes))
+
+
+@dataclass
+class TuningTable:
+    """In-memory tuning table: {op: {world_size: {msg_bucket: backend}}}."""
+
+    system: str = "unknown"
+    entries: dict[str, dict[int, dict[int, str]]] = field(default_factory=dict)
+
+    # -- construction ----------------------------------------------------
+
+    def add(self, op: str, world_size: int, msg_bytes: int, backend: str) -> None:
+        if world_size < 1:
+            raise TuningError(f"bad world size {world_size}")
+        if msg_bytes < 0:
+            raise TuningError(f"bad message size {msg_bytes}")
+        bucket = message_bucket(msg_bytes)
+        self.entries.setdefault(op, {}).setdefault(world_size, {})[bucket] = backend
+
+    def merge(self, other: "TuningTable") -> None:
+        for op, scales in other.entries.items():
+            for ws, buckets in scales.items():
+                for bucket, backend in buckets.items():
+                    self.entries.setdefault(op, {}).setdefault(ws, {})[bucket] = backend
+
+    # -- lookup ------------------------------------------------------------
+
+    def lookup(self, op: str, world_size: int, msg_bytes: int) -> Optional[str]:
+        """Best backend for the op, or None if the op was never tuned."""
+        scales = self.entries.get(op)
+        if not scales:
+            return None
+        ws = self._nearest(sorted(scales), world_size)
+        buckets = scales[ws]
+        bucket = self._nearest(sorted(buckets), message_bucket(msg_bytes))
+        return buckets[bucket]
+
+    @staticmethod
+    def _nearest(candidates: list[int], value: int) -> int:
+        # nearest in log-space: scale and message size both behave
+        # multiplicatively
+        return min(candidates, key=lambda c: abs(math.log2(c) - math.log2(max(value, 1))))
+
+    def num_entries(self) -> int:
+        return sum(
+            len(buckets) for scales in self.entries.values() for buckets in scales.values()
+        )
+
+    def ops(self) -> list[str]:
+        return sorted(self.entries)
+
+    def rows(self, op: str, world_size: int) -> list[tuple[int, str]]:
+        """(message size, backend) rows for one op/scale — Table II format."""
+        scales = self.entries.get(op, {})
+        if world_size not in scales:
+            raise TuningError(
+                f"no tuning rows for {op} at world size {world_size}; "
+                f"have {sorted(scales)}"
+            )
+        return sorted(scales[world_size].items())
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: "str | Path") -> None:
+        payload = {
+            "system": self.system,
+            "entries": {
+                op: {str(ws): {str(b): name for b, name in buckets.items()}
+                     for ws, buckets in scales.items()}
+                for op, scales in self.entries.items()
+            },
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: "str | Path", expect_system: Optional[str] = None) -> "TuningTable":
+        payload = json.loads(Path(path).read_text())
+        if expect_system is not None and payload.get("system") != expect_system:
+            raise TuningError(
+                f"tuning table was generated on {payload.get('system')!r}, "
+                f"not {expect_system!r} — tables are not transferable across "
+                "systems (paper §V-F)"
+            )
+        table = cls(system=payload.get("system", "unknown"))
+        for op, scales in payload.get("entries", {}).items():
+            for ws, buckets in scales.items():
+                for bucket, backend in buckets.items():
+                    table.entries.setdefault(op, {}).setdefault(int(ws), {})[
+                        int(bucket)
+                    ] = backend
+        return table

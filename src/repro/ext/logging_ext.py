@@ -1,0 +1,105 @@
+"""Communication logging (paper §V-E).
+
+Every MCR-DL operation is recorded with its family, backend, wire size,
+and completion interval.  The paper uses exactly this extension to
+generate the communication breakdowns of Figure 1 and Figure 12.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Flag
+    from repro.sim.process import RankContext
+
+
+@dataclass(frozen=True)
+class CommRecord:
+    """One completed communication operation on one rank."""
+
+    rank: int
+    family: str
+    backend: str
+    nbytes: int
+    start: float
+    end: float
+    async_op: bool
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class CommLogger:
+    """Job-wide communication log (shared across all ranks)."""
+
+    def __init__(self) -> None:
+        self.records: list[CommRecord] = []
+
+    @classmethod
+    def shared(cls, ctx: "RankContext") -> "CommLogger":
+        """The per-job logger instance, created on first use."""
+        return ctx.shared.setdefault("comm_logger", cls())
+
+    def log(
+        self,
+        rank: int,
+        family: str,
+        backend: str,
+        nbytes: int,
+        start: float,
+        end: float,
+        async_op: bool,
+    ) -> None:
+        self.records.append(
+            CommRecord(rank, family, backend, nbytes, start, end, async_op)
+        )
+
+    def defer(self, flag: "Flag", emit: Callable[[], None]) -> None:
+        """Emit a record when ``flag`` fires (completion time unknown yet)."""
+        flag.callbacks.append(emit)
+
+    # -- aggregation (Figures 1 & 12) ---------------------------------------
+
+    def total_time_by_family(self, rank: Optional[int] = None) -> dict[str, float]:
+        """Summed durations per op family (one rank, or averaged over all)."""
+        sums: dict[str, float] = defaultdict(float)
+        counts_ranks = set()
+        for r in self.records:
+            if rank is not None and r.rank != rank:
+                continue
+            sums[r.family] += r.duration
+            counts_ranks.add(r.rank)
+        if rank is None and counts_ranks:
+            return {k: v / len(counts_ranks) for k, v in sums.items()}
+        return dict(sums)
+
+    def total_time_by_backend(self, rank: Optional[int] = None) -> dict[str, float]:
+        sums: dict[str, float] = defaultdict(float)
+        ranks = set()
+        for r in self.records:
+            if rank is not None and r.rank != rank:
+                continue
+            sums[r.backend] += r.duration
+            ranks.add(r.rank)
+        if rank is None and ranks:
+            return {k: v / len(ranks) for k, v in sums.items()}
+        return dict(sums)
+
+    def op_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            counts[r.family] += 1
+        return dict(counts)
+
+    def bytes_by_family(self) -> dict[str, int]:
+        sums: dict[str, int] = defaultdict(int)
+        for r in self.records:
+            sums[r.family] += r.nbytes
+        return dict(sums)
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,34 @@
+"""Baseline distributed-DL frameworks (Table I comparators).
+
+Each framework here models a competing PyTorch-compatible communication
+layer the paper evaluates against — its API *surface* (which operations
+exist), its overhead profile (Fig. 7), and its optimizations (tensor
+fusion or the lack of it, Fig. 11):
+
+* :class:`~repro.frameworks.torch_dist.TorchDistributed` — PyTorch's
+  built-in distributed module: one backend at a time, no vectored
+  collectives, non-blocking for NCCL only, heavier Python dispatch.
+* :class:`~repro.frameworks.horovod.HorovodLike` — data-parallel focus:
+  allreduce/allgather/bcast only, built-in tensor fusion, "experimental"
+  mixed backends without deadlock avoidance.
+* :class:`~repro.frameworks.mpi4py_shim.Mpi4pyLike` — full MPI surface
+  (including vectored collectives) but every GPU tensor staged through
+  host memory (the paper's Listing 2 pattern) and no fusion.
+* :mod:`~repro.frameworks.features` — the Table I feature matrix as data.
+"""
+
+from repro.frameworks.torch_dist import TorchDistributed
+from repro.frameworks.horovod import HorovodLike
+from repro.frameworks.mpi4py_shim import Mpi4pyLike
+from repro.frameworks.features import FEATURE_MATRIX, FrameworkFeatures, feature_table_rows
+from repro.frameworks.deepspeed_like import DeepSpeedLikeEngine
+
+__all__ = [
+    "TorchDistributed",
+    "HorovodLike",
+    "Mpi4pyLike",
+    "FEATURE_MATRIX",
+    "FrameworkFeatures",
+    "feature_table_rows",
+    "DeepSpeedLikeEngine",
+]

@@ -1,0 +1,50 @@
+"""Workload models from the paper's evaluation.
+
+Communication-faithful training-step models: each issues the exact
+collective sequence its parallelism scheme requires (the paper's
+§III-D/E descriptions) with analytic compute costs for the configured
+GPU, so throughput and scaling behaviour emerge from the interplay of
+compute, communication, and overlap — which is what Figures 1 and 8-12
+measure.
+
+* :class:`~repro.models.moe.DSMoEModel` — DeepSpeed-MoE transformer
+  (350M base + PR-MoE-32/64, ~4B params): Allreduce + Alltoall.
+* :class:`~repro.models.dlrm.DLRMModel` — embedding tables + MLPs:
+  non-blocking Alltoall overlapped with the top MLP, plus Allreduce.
+* :class:`~repro.models.resnet.ResNet50Model` — data-parallel baseline:
+  Allreduce only, compute dominated.
+* :class:`~repro.models.megatron.MegatronDenseModel` — 6.7B dense
+  Megatron-DeepSpeed with tensor parallelism (degree 2) and ZeRO-2.
+* :class:`~repro.models.pipeline.PipelineParallelModel` — 1F1B pipeline
+  parallelism over point-to-point sends (beyond the paper's figures).
+* :class:`~repro.models.trainer.Trainer` — runs steps under a
+  :class:`~repro.models.plan.BackendPlan` + framework profile and
+  reports throughput / scaling efficiency / comm breakdowns.
+"""
+
+from repro.models.plan import BackendPlan, FrameworkProfile, CommDriver, PROFILES
+from repro.models.moe import DSMoEModel, MoEConfig
+from repro.models.dlrm import DLRMModel, DLRMConfig
+from repro.models.resnet import ResNet50Model, ResNetConfig
+from repro.models.megatron import MegatronDenseModel, MegatronConfig
+from repro.models.pipeline import PipelineParallelModel, PipelineConfig
+from repro.models.trainer import Trainer, TrainResult
+
+__all__ = [
+    "BackendPlan",
+    "FrameworkProfile",
+    "CommDriver",
+    "PROFILES",
+    "DSMoEModel",
+    "MoEConfig",
+    "DLRMModel",
+    "DLRMConfig",
+    "ResNet50Model",
+    "ResNetConfig",
+    "MegatronDenseModel",
+    "MegatronConfig",
+    "PipelineParallelModel",
+    "PipelineConfig",
+    "Trainer",
+    "TrainResult",
+]

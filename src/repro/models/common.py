@@ -1,0 +1,94 @@
+"""Shared compute-cost arithmetic for the workload models.
+
+All models charge GPU compute analytically: GEMM-shaped work runs at the
+GPU's sustained FLOP rate, lookup/elementwise work at its memory
+bandwidth.  The numbers only need to be *relatively* right — the figures
+compare communication strategies on identical compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.cluster.hardware import GpuSpec
+
+
+def gemm_us(gpu: GpuSpec, flops: float, fp16: bool = True) -> float:
+    """Duration of ``flops`` of dense math on ``gpu``, µs."""
+    rate = gpu.effective_fp16_flops() if fp16 else gpu.effective_fp32_flops()
+    return flops / rate * 1e6
+
+
+def memory_bound_us(gpu: GpuSpec, nbytes: float) -> float:
+    """Duration of ``nbytes`` of bandwidth-bound work on ``gpu``, µs."""
+    return nbytes / (gpu.memory_bw_gbps * 1e9) * 1e6
+
+
+@dataclass(frozen=True)
+class MLPSpec:
+    """A multilayer perceptron described by its layer widths."""
+
+    widths: tuple[int, ...]  # e.g. (13, 512, 512, 64)
+
+    def params(self) -> int:
+        return sum(a * b + b for a, b in zip(self.widths, self.widths[1:]))
+
+    def forward_flops(self, batch: int) -> float:
+        return sum(2.0 * batch * a * b for a, b in zip(self.widths, self.widths[1:]))
+
+    def backward_flops(self, batch: int) -> float:
+        # dgrad + wgrad: ~2x forward
+        return 2.0 * self.forward_flops(batch)
+
+    def forward_us(self, gpu: GpuSpec, batch: int, fp16: bool = True) -> float:
+        return gemm_us(gpu, self.forward_flops(batch), fp16)
+
+    def backward_us(self, gpu: GpuSpec, batch: int, fp16: bool = True) -> float:
+        return gemm_us(gpu, self.backward_flops(batch), fp16)
+
+
+def transformer_layer_params(hidden: int) -> int:
+    """Dense transformer layer: attention (4h^2) + FFN (8h^2)."""
+    return 12 * hidden * hidden
+
+
+def transformer_layer_forward_flops(hidden: int, tokens: int) -> float:
+    """2 * active-params * tokens (ignoring the small attention-score term)."""
+    return 2.0 * transformer_layer_params(hidden) * tokens
+
+
+def chunk_bytes(total_bytes: int, bucket_bytes: int) -> list[int]:
+    """Split a gradient volume into DDP-style buckets."""
+    if total_bytes <= 0:
+        return []
+    full, rem = divmod(total_bytes, bucket_bytes)
+    out = [bucket_bytes] * full
+    if rem:
+        out.append(rem)
+    return out
+
+
+def validate_positive(**kwargs: float) -> None:
+    for name, value in kwargs.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+def even_counts(total: int, parts: int) -> list[int]:
+    """Split ``total`` into ``parts`` near-equal integer counts."""
+    base, rem = divmod(total, parts)
+    return [base + (1 if i < rem else 0) for i in range(parts)]
+
+
+def skewed_counts(total: int, parts: int, skew: float, seed_row: Sequence[float]) -> list[int]:
+    """Imbalanced split (MoE gating skew): ``skew=0`` is even, ``skew=1``
+    doubles the weight of the heaviest part.  ``seed_row`` supplies the
+    deterministic per-part weights in [0, 1)."""
+    if not 0.0 <= skew <= 1.0:
+        raise ValueError(f"skew must be in [0, 1], got {skew}")
+    weights = [1.0 + skew * float(w) for w in seed_row[:parts]]
+    scale = total / sum(weights)
+    counts = [int(w * scale) for w in weights]
+    counts[0] += total - sum(counts)  # fix rounding drift
+    return counts

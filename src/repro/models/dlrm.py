@@ -1,0 +1,186 @@
+"""DLRM training-step model (paper §III-E, §VI-4, Figure 9).
+
+The paper's configuration: 100 synthetic batches of size 8k, bottom MLP
+512-512-64, top MLP 1024-1024-1024-1, embedding table of ``1e6 x
+num_ranks`` rows split one shard per rank (model parallelism for the
+sparse half, data parallelism for the dense half).
+
+Communication per batch:
+
+* **non-blocking Alltoall** to shuffle looked-up embedding vectors from
+  table shards to the ranks that own the samples — overlapped with the
+  *previous* batch's top-MLP computation (§III-E), which is why DLRM
+  needs non-blocking Alltoall support;
+* **Allreduce** of the MLP gradients (the dense half is data-parallel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.common import MLPSpec, memory_bound_us, validate_positive
+from repro.models.plan import CommDriver
+from repro.sim.process import RankContext
+
+
+@dataclass(frozen=True)
+class DLRMConfig:
+    """Paper's DLRM settings (§VI-4)."""
+
+    #: per-rank batch (the paper's 8k batches, interpreted per GPU for
+    #: weak scaling as in standard DLRM benchmarking)
+    batch_size: int = 2048
+    bottom_mlp: tuple[int, ...] = (13, 512, 512, 64)
+    top_mlp: tuple[int, ...] = (512, 1024, 1024, 1024, 1)
+    embedding_dim: int = 64
+    embedding_rows_per_rank: int = 1_000_000
+    #: embedding tables striped across ranks (each rank serves the whole
+    #: global batch for its share of tables); scales the Alltoall volume
+    num_tables: int = 26
+    #: average multi-hot lookups pooled per table per sample
+    pooling: int = 8
+    dtype_bytes: int = 4  # DLRM trains fp32
+    #: sample real Zipf-distributed categorical indices each batch and
+    #: exchange embeddings with the imbalanced all_to_allv those indices
+    #: imply (includes the count-exchange round real DLRM performs);
+    #: False uses the balanced all_to_all_single fast path
+    synthetic_data: bool = False
+    #: Zipf popularity exponent for the synthetic categorical features
+    zipf_exponent: float = 1.05
+
+    def __post_init__(self) -> None:
+        validate_positive(
+            batch_size=self.batch_size,
+            embedding_dim=self.embedding_dim,
+            embedding_rows_per_rank=self.embedding_rows_per_rank,
+        )
+
+    def alltoall_bytes(self) -> int:
+        """Per-rank embedding-shuffle volume for one batch."""
+        return (
+            self.batch_size * self.embedding_dim * self.dtype_bytes * self.num_tables
+        )
+
+    def mlp_grad_bytes(self) -> int:
+        bottom = MLPSpec(self.bottom_mlp).params()
+        top = MLPSpec(self.top_mlp).params()
+        return (bottom + top) * self.dtype_bytes
+
+
+class DLRMModel:
+    """One DLRM batch (with the previous batch's top MLP overlapped)."""
+
+    name = "dlrm"
+
+    def __init__(self, config: DLRMConfig = DLRMConfig()):
+        self.config = config
+
+    def samples_per_step(self, world_size: int) -> float:
+        return float(self.config.batch_size * world_size)
+
+    def _compute_costs(self, ctx: RankContext) -> dict[str, float]:
+        cfg = self.config
+        gpu = ctx.system.node.gpu
+        local_batch = cfg.batch_size
+        bottom = MLPSpec(cfg.bottom_mlp)
+        top = MLPSpec(cfg.top_mlp)
+        # embedding lookups are memory-bound: this rank serves the whole
+        # global batch against its table shard
+        lookup_bytes = (
+            local_batch * cfg.embedding_dim * cfg.dtype_bytes
+            * cfg.num_tables * cfg.pooling
+        )
+        return {
+            "bottom_fwd": bottom.forward_us(gpu, local_batch, fp16=False),
+            "bottom_bwd": bottom.backward_us(gpu, local_batch, fp16=False),
+            "top_fwd": top.forward_us(gpu, local_batch, fp16=False),
+            "top_bwd": top.backward_us(gpu, local_batch, fp16=False),
+            "lookup": memory_bound_us(gpu, lookup_bytes),
+            "interact": memory_bound_us(
+                gpu, local_batch * cfg.embedding_dim * cfg.embedding_dim * cfg.dtype_bytes
+            ),
+        }
+
+    def _shuffle_with_real_indices(self, ctx, driver, shuffle_in):
+        """Sample Zipf categorical indices, exchange per-destination
+        counts (the metadata round real DLRM runs), then post the
+        imbalanced embedding all_to_allv they imply."""
+        import numpy as np
+
+        from repro.models.data import shard_counts, zipfian_indices
+
+        cfg = self.config
+        p = ctx.world_size
+        lookups = cfg.batch_size * cfg.pooling
+        indices = zipfian_indices(
+            ctx.rng, cfg.embedding_rows_per_rank * p, lookups, cfg.zipf_exponent
+        )
+        # one pooled embedding vector leaves for the shard owning its
+        # rows; normalize to the balanced volume so the *imbalance*, not
+        # extra volume, is what the vectored path carries
+        per_dest = shard_counts(indices, p).astype(np.float64)
+        scale = shuffle_in.numel() / max(per_dest.sum(), 1.0)
+        scounts = np.floor(per_dest * scale).astype(np.int64)
+        scounts[0] += shuffle_in.numel() - int(scounts.sum())
+        # metadata round: every rank learns what it will receive
+        counts_in = ctx.tensor(scounts.astype(np.float64))
+        counts_out = ctx.zeros(p)
+        driver.all_to_all_single(counts_out, counts_in, async_op=True).synchronize()
+        rcounts = [int(round(v)) for v in counts_out.data]
+        out = ctx.virtual_tensor(max(sum(rcounts), 1))
+        return driver.all_to_allv(
+            out,
+            shuffle_in,
+            scounts=[int(v) for v in scounts],
+            sdispls=None,
+            rcounts=rcounts,
+            rdispls=None,
+            async_op=True,
+        )
+
+    def run_step(self, ctx: RankContext, driver: CommDriver) -> None:
+        cfg = self.config
+        costs = self._compute_costs(ctx)
+        a2a_elems = max(ctx.world_size, cfg.alltoall_bytes() // 4)
+        a2a_elems -= a2a_elems % ctx.world_size  # keep divisible
+        shuffle_in = ctx.virtual_tensor(a2a_elems)
+        shuffle_out = ctx.virtual_tensor(a2a_elems)
+
+        # ---- forward ------------------------------------------------------
+        # embedding lookups for this batch, then the non-blocking Alltoall
+        # that is overlapped with the previous batch's top MLP (§III-E)
+        ctx.launch(costs["lookup"], label="emb:lookup")
+        if cfg.synthetic_data:
+            shuffle = self._shuffle_with_real_indices(
+                ctx, driver, shuffle_in
+            )
+        else:
+            shuffle = driver.all_to_all_single(shuffle_out, shuffle_in, async_op=True)
+        # bottom MLP on dense features and the overlapped top MLP both run
+        # while the shuffle is in flight
+        ctx.launch(costs["bottom_fwd"], label="fwd:bottom")
+        ctx.launch(costs["top_fwd"], label="fwd:top(prev-batch)")
+        shuffle.wait()
+        # feature interaction + this batch's top MLP need the shuffle
+        ctx.launch(costs["interact"], label="fwd:interact")
+        ctx.launch(costs["top_fwd"], label="fwd:top")
+
+        # ---- backward ----------------------------------------------------
+        ctx.launch(costs["top_bwd"], label="bwd:top")
+        # gradient shuffle back to the table shards (non-blocking again)
+        grad_shuffle = driver.all_to_all_single(shuffle_in, shuffle_out, async_op=True)
+        ctx.launch(costs["bottom_bwd"], label="bwd:bottom")
+        grad_shuffle.wait()
+        ctx.launch(costs["lookup"], label="emb:grad-scatter")
+
+        # dense-half gradients are data-parallel: allreduce
+        grads = ctx.virtual_tensor(max(1, cfg.mlp_grad_bytes() // 4))
+        h = driver.grad_all_reduce(grads)
+        h.wait()
+
+        # optimizer over MLP params + local embedding rows touched
+        gpu = ctx.system.node.gpu
+        ctx.launch(
+            memory_bound_us(gpu, 3 * cfg.mlp_grad_bytes()),
+            label="optimizer",
+        )

@@ -1,0 +1,148 @@
+"""Dense Megatron-DeepSpeed model (paper §VI-4, Figure 10).
+
+The paper's dense configuration: 6.7B parameters, tensor (model)
+parallelism degree 2, ZeRO stage 2, trained on ThetaGPU with a mixture
+of MSCCL and MVAPICH2-GDR.  Communication per step:
+
+* **tensor-parallel Allreduce** of activations — two per layer in
+  forward and two in backward, within each TP pair (latency-sensitive,
+  medium messages);
+* **ZeRO-2 Reduce-Scatter** of gradients across the data-parallel group
+  (each rank keeps only its shard);
+* **Allgather** of updated parameters after the sharded optimizer step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.common import (
+    chunk_bytes,
+    gemm_us,
+    transformer_layer_forward_flops,
+    transformer_layer_params,
+    validate_positive,
+)
+from repro.models.plan import CommDriver
+from repro.sim.process import RankContext
+
+
+@dataclass(frozen=True)
+class MegatronConfig:
+    """6.7B dense GPT (Megatron-LM shapes) with TP=2, ZeRO-2."""
+
+    hidden: int = 4096
+    layers: int = 32
+    seq_len: int = 2048
+    micro_batch: int = 1
+    tensor_parallel: int = 2
+    dtype_bytes: int = 2
+    grad_bucket_bytes: int = 64 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        validate_positive(
+            hidden=self.hidden, layers=self.layers, tensor_parallel=self.tensor_parallel
+        )
+
+    @property
+    def tokens_per_rank(self) -> int:
+        return self.micro_batch * self.seq_len
+
+    def params(self) -> int:
+        return transformer_layer_params(self.hidden) * self.layers
+
+    def shard_param_bytes(self) -> int:
+        """Per-rank parameter shard after TP split."""
+        return self.params() * self.dtype_bytes // self.tensor_parallel
+
+    def tp_message_bytes(self) -> int:
+        """One TP activation allreduce: tokens x hidden."""
+        return self.tokens_per_rank * self.hidden * self.dtype_bytes
+
+
+class MegatronDenseModel:
+    """One dense Megatron-DeepSpeed training step."""
+
+    name = "megatron-dense"
+
+    def __init__(self, config: MegatronConfig = MegatronConfig()):
+        self.config = config
+
+    def samples_per_step(self, world_size: int) -> float:
+        # data-parallel degree = world / TP
+        return self.config.micro_batch * world_size / self.config.tensor_parallel
+
+    def run_step(self, ctx: RankContext, driver: CommDriver) -> None:
+        cfg = self.config
+        gpu = ctx.system.node.gpu
+        tp = cfg.tensor_parallel
+        if ctx.world_size % tp != 0:
+            raise ValueError(
+                f"world size {ctx.world_size} not divisible by TP degree {tp}"
+            )
+        # process groups: consecutive ranks form a TP group; equal TP
+        # positions across groups form the data-parallel group
+        tp_base = (ctx.rank // tp) * tp
+        tp_group = driver.subgroup(
+            list(range(tp_base, tp_base + tp)), comm_id=f"tp{tp_base}"
+        )
+        dp_group = driver.subgroup(
+            list(range(ctx.rank % tp, ctx.world_size, tp)),
+            comm_id=f"dp{ctx.rank % tp}",
+        )
+        # each rank computes 1/TP of every layer
+        layer_fwd = gemm_us(
+            gpu,
+            transformer_layer_forward_flops(cfg.hidden, cfg.tokens_per_rank)
+            / cfg.tensor_parallel,
+        )
+        tp_msg = ctx.virtual_tensor(max(1, cfg.tp_message_bytes() // 4))
+
+        # ---- forward: per layer, compute + 2 TP allreduces ----------------
+        for layer in range(cfg.layers):
+            ctx.launch(layer_fwd / 2.0, label=f"fwd:attn:{layer}")
+            tp_group.all_reduce(tp_msg)  # attention output allreduce
+            ctx.launch(layer_fwd / 2.0, label=f"fwd:mlp:{layer}")
+            tp_group.all_reduce(tp_msg)  # MLP output allreduce
+
+        # ---- backward: 2x compute + 2 TP allreduces per layer, plus
+        # ZeRO-2 gradient reduce-scatter buckets overlapped ------------------
+        shard_bytes = cfg.shard_param_bytes()
+        buckets = chunk_bytes(shard_bytes, cfg.grad_bucket_bytes)
+        handles = []
+        per_layers = max(1, cfg.layers // max(len(buckets), 1))
+        bucket_idx = 0
+        dp_size = max(1, ctx.world_size // tp)
+
+        def post_zero2_bucket(bucket_bytes: int):
+            numel = max(dp_size, bucket_bytes // 4)
+            numel -= numel % dp_size
+            grad_in = ctx.virtual_tensor(numel)
+            grad_out = ctx.virtual_tensor(numel // dp_size)
+            return dp_group.reduce_scatter(grad_out, grad_in, async_op=True)
+
+        for layer in reversed(range(cfg.layers)):
+            ctx.launch(layer_fwd, label=f"bwd:attn:{layer}")
+            tp_group.all_reduce(tp_msg)
+            ctx.launch(layer_fwd, label=f"bwd:mlp:{layer}")
+            tp_group.all_reduce(tp_msg)
+            if bucket_idx < len(buckets) and (cfg.layers - layer) % per_layers == 0:
+                handles.append(post_zero2_bucket(buckets[bucket_idx]))
+                bucket_idx += 1
+        while bucket_idx < len(buckets):
+            handles.append(post_zero2_bucket(buckets[bucket_idx]))
+            bucket_idx += 1
+        for h in handles:
+            h.wait()
+
+        # ---- sharded optimizer + parameter allgather (ZeRO-2) -------------
+        ctx.launch(
+            3.0 * shard_bytes / dp_size / (gpu.memory_bw_gbps * 1e3),
+            label="optimizer",
+        )
+        ag_numel = max(dp_size, shard_bytes // 4)
+        ag_numel -= ag_numel % dp_size
+        own = ctx.virtual_tensor(ag_numel // dp_size)
+        full = ctx.virtual_tensor(ag_numel)
+        h = dp_group.all_gather(full, own, async_op=True)
+        h.wait()

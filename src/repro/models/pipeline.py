@@ -1,0 +1,174 @@
+"""Pipeline-parallel transformer model (GPipe/1F1B-style).
+
+The paper motivates MCR-DL with the communication diversity of advanced
+parallelism schemes — "sharding, pipeline and model parallelism, tensor
+slicing" (§I).  This model exercises the **point-to-point** half of the
+API in a realistic schedule: the network is split into stages (one per
+rank), micro-batches stream through with activations sent stage-to-stage
+(`isend`/`irecv`), and gradients flow back — the classic 1F1B pattern.
+
+Communication per step:
+
+* ``2 x (stages - 1) x micro_batches`` point-to-point activation /
+  gradient transfers between neighbouring stages;
+* an optional data-parallel Allreduce when ``world > stages`` (hybrid
+  pipeline + data parallelism, using process groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.common import (
+    gemm_us,
+    transformer_layer_forward_flops,
+    transformer_layer_params,
+    validate_positive,
+)
+from repro.models.plan import CommDriver
+from repro.sim.process import RankContext
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """A GPT-style model split into pipeline stages."""
+
+    hidden: int = 2048
+    layers: int = 24
+    seq_len: int = 1024
+    micro_batch: int = 1
+    micro_batches: int = 8
+    #: pipeline depth; None = one stage per rank (pure pipeline)
+    stages: int | None = None
+    dtype_bytes: int = 2
+    grad_bucket_bytes: int = 32 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        validate_positive(
+            hidden=self.hidden,
+            layers=self.layers,
+            seq_len=self.seq_len,
+            micro_batches=self.micro_batches,
+        )
+
+    def activation_bytes(self) -> int:
+        """One micro-batch's activations at a stage boundary."""
+        return self.micro_batch * self.seq_len * self.hidden * self.dtype_bytes
+
+    def stage_param_bytes(self, n_stages: int) -> int:
+        return (
+            transformer_layer_params(self.hidden)
+            * self.layers
+            * self.dtype_bytes
+            // n_stages
+        )
+
+
+class PipelineParallelModel:
+    """One 1F1B pipeline training step."""
+
+    name = "pipeline-gpt"
+
+    def __init__(self, config: PipelineConfig = PipelineConfig()):
+        self.config = config
+
+    def samples_per_step(self, world_size: int) -> float:
+        cfg = self.config
+        stages = cfg.stages or world_size
+        dp = max(1, world_size // stages)
+        return cfg.micro_batch * cfg.micro_batches * dp
+
+    def run_step(self, ctx: RankContext, driver: CommDriver) -> None:
+        cfg = self.config
+        stages = cfg.stages or ctx.world_size
+        if ctx.world_size % stages != 0:
+            raise ValueError(
+                f"world size {ctx.world_size} not divisible by {stages} stages"
+            )
+        dp = ctx.world_size // stages
+        # rank layout: pipeline-major (ranks s*dp + d)
+        stage, dp_index = divmod(ctx.rank, dp)
+        pipe_group_ranks = [s * dp + dp_index for s in range(stages)]
+        pipe = driver.subgroup(pipe_group_ranks, comm_id=f"pipe{dp_index}")
+        dp_group = None
+        if dp > 1:
+            dp_group = driver.subgroup(
+                [stage * dp + d for d in range(dp)], comm_id=f"dp{stage}"
+            )
+
+        gpu = ctx.system.node.gpu
+        layers_here = max(1, cfg.layers // stages)
+        fwd_us = layers_here * gemm_us(
+            gpu, transformer_layer_forward_flops(cfg.hidden, cfg.micro_batch * cfg.seq_len)
+        )
+        act = ctx.virtual_tensor(max(1, cfg.activation_bytes() // 4))
+        backend = driver.plan.backend_for("p2p") if hasattr(driver.plan, "backend_for") else "nccl"
+        # group-local neighbours on the pipe communicator
+        prev_stage, next_stage = stage - 1, stage + 1
+
+        # ---- 1F1B: warmup forwards -----------------------------------
+        def recv_activation():
+            h = pipe.comm.irecv(backend, act, src=prev_stage)
+            h.synchronize()
+
+        def send_activation():
+            # the payload must exist before it can leave: join the compute
+            # stream, then fire-and-forget (a blocking rendezvous send
+            # would deadlock the 1F1B schedule — the engine catches that)
+            ctx.stream_synchronize()
+            pipe.comm.isend(backend, act, dst=next_stage)
+
+        def recv_grad():
+            h = pipe.comm.irecv(backend, act, src=next_stage)
+            h.synchronize()
+
+        def send_grad():
+            ctx.stream_synchronize()
+            pipe.comm.isend(backend, act, dst=prev_stage)
+
+        in_flight = min(stages - stage, cfg.micro_batches)
+        fwd_done = bwd_done = 0
+        # warmup: fill the pipeline
+        for _ in range(in_flight):
+            if stage > 0:
+                recv_activation()
+            ctx.launch(fwd_us, label=f"fwd:mb{fwd_done}")
+            if stage < stages - 1:
+                send_activation()
+            fwd_done += 1
+        # steady state: one forward, one backward
+        while fwd_done < cfg.micro_batches:
+            if stage < stages - 1:
+                recv_grad()
+            ctx.launch(2.0 * fwd_us, label=f"bwd:mb{bwd_done}")
+            if stage > 0:
+                send_grad()
+            bwd_done += 1
+            if stage > 0:
+                recv_activation()
+            ctx.launch(fwd_us, label=f"fwd:mb{fwd_done}")
+            if stage < stages - 1:
+                send_activation()
+            fwd_done += 1
+        # drain: remaining backwards
+        while bwd_done < cfg.micro_batches:
+            if stage < stages - 1:
+                recv_grad()
+            ctx.launch(2.0 * fwd_us, label=f"bwd:mb{bwd_done}")
+            if stage > 0:
+                send_grad()
+            bwd_done += 1
+
+        # ---- hybrid data parallelism: gradient allreduce per stage ----
+        if dp_group is not None:
+            grads = ctx.virtual_tensor(
+                max(1, cfg.stage_param_bytes(stages) // 4)
+            )
+            h = dp_group.grad_all_reduce(grads)
+            h.wait()
+
+        # optimizer over this stage's parameters
+        ctx.launch(
+            3.0 * cfg.stage_param_bytes(stages) / (gpu.memory_bw_gbps * 1e3),
+            label="optimizer",
+        )

@@ -1,0 +1,78 @@
+"""ResNet-50 data-parallel model (paper Figure 1 baseline).
+
+Pure data parallelism: each rank computes forward/backward over its
+local batch and allreduces ~25.6M parameters of gradients, bucketed and
+overlapped with backward.  The paper uses it to show that data-parallel
+workloads are compute-dominated with Allreduce-only communication —
+the regime where MCR-DL's benefit is marginal (§I-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.common import chunk_bytes, gemm_us, validate_positive
+from repro.models.plan import CommDriver
+from repro.sim.process import RankContext
+
+
+@dataclass(frozen=True)
+class ResNetConfig:
+    """ResNet-50 on ImageNet-style input."""
+
+    local_batch: int = 64
+    #: forward FLOPs per image (ResNet-50 @ 224x224)
+    forward_flops_per_sample: float = 4.1e9
+    params: int = 25_600_000
+    dtype_bytes: int = 2  # fp16 gradients
+    grad_bucket_bytes: int = 25 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        validate_positive(local_batch=self.local_batch, params=self.params)
+
+    def grad_bytes(self) -> int:
+        return self.params * self.dtype_bytes
+
+
+class ResNet50Model:
+    """One data-parallel ResNet-50 training step."""
+
+    name = "resnet50"
+
+    def __init__(self, config: ResNetConfig = ResNetConfig()):
+        self.config = config
+
+    def samples_per_step(self, world_size: int) -> float:
+        return float(self.config.local_batch * world_size)
+
+    def run_step(self, ctx: RankContext, driver: CommDriver) -> None:
+        cfg = self.config
+        gpu = ctx.system.node.gpu
+        # convolutions sustain roughly fp32-path throughput on V100-era
+        # tensor cores (layout transforms, small channel counts)
+        fwd_us = gemm_us(gpu, cfg.forward_flops_per_sample * cfg.local_batch, fp16=False)
+        # forward in ~16 stage chunks (conv blocks)
+        stages = 16
+        for i in range(stages):
+            ctx.launch(fwd_us / stages, label=f"fwd:stage{i}")
+        # backward (2x forward), bucketed allreduce overlapped
+        buckets = chunk_bytes(cfg.grad_bytes(), cfg.grad_bucket_bytes)
+        handles = []
+        per_stage = max(1, stages // max(len(buckets), 1))
+        bucket_idx = 0
+        for i in reversed(range(stages)):
+            ctx.launch(2.0 * fwd_us / stages, label=f"bwd:stage{i}")
+            if bucket_idx < len(buckets) and (stages - i) % per_stage == 0:
+                grad = ctx.virtual_tensor(max(1, buckets[bucket_idx] // 4))
+                handles.append(driver.grad_all_reduce(grad))
+                bucket_idx += 1
+        while bucket_idx < len(buckets):
+            grad = ctx.virtual_tensor(max(1, buckets[bucket_idx] // 4))
+            handles.append(driver.grad_all_reduce(grad))
+            bucket_idx += 1
+        for h in handles:
+            h.wait()
+        # SGD + momentum update, memory bound
+        ctx.launch(
+            2.0 * cfg.params * 4 / (gpu.memory_bw_gbps * 1e3), label="optimizer"
+        )

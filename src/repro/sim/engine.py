@@ -1,0 +1,234 @@
+"""Cooperative-thread discrete-event engine.
+
+Each simulated rank runs user code on a dedicated OS thread, but a baton
+protocol guarantees **exactly one** thread executes at any moment, so no
+user-visible locking is needed and execution is fully deterministic.
+Virtual time (microseconds, float) only advances when the running thread
+blocks on a future event; ties are broken FIFO by a sequence counter.
+
+This is the classic process-interaction DES style (as in SimPy), using
+threads instead of generators so that deeply nested user code — a whole
+training loop calling into MCR-DL collectives — can block naturally
+anywhere in its call stack, exactly like an MPI program.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from heapq import heappop, heappush
+from typing import Callable, Optional
+
+from repro.sim.errors import DeadlockError, SimAborted, SimError
+
+
+class _Kill(BaseException):
+    """Internal: unwinds a parked rank thread during teardown.
+
+    Derives from BaseException so user ``except Exception`` blocks cannot
+    swallow it.
+    """
+
+
+class Flag:
+    """A one-shot completion signal with a *timestamped* fire.
+
+    Work handles and rendezvous completions fire flags with the simulated
+    time at which the underlying operation finishes (possibly in the
+    future relative to the firing rank's clock); waiters resume at
+    ``max(their local now, ready_time)``.
+    """
+
+    __slots__ = ("_engine", "ready_time", "_waiters", "label", "callbacks")
+
+    def __init__(self, engine: "Engine", label: str = "flag"):
+        self._engine = engine
+        self.ready_time: Optional[float] = None
+        self._waiters: list["_Proc"] = []
+        self.label = label
+        #: called synchronously at fire time with no arguments (used by
+        #: deferred logging; keep callbacks free of blocking calls)
+        self.callbacks: list[Callable[[], None]] = []
+
+    @property
+    def is_set(self) -> bool:
+        return self.ready_time is not None
+
+    def fire(self, ready_time: float) -> None:
+        """Mark complete at ``ready_time`` and schedule all waiters."""
+        if self.ready_time is not None:
+            raise SimError(f"flag {self.label!r} fired twice")
+        if ready_time < 0:
+            raise SimError(f"flag {self.label!r} fired at negative time {ready_time}")
+        self.ready_time = ready_time
+        for proc in self._waiters:
+            self._engine._schedule(max(ready_time, self._engine.now), proc)
+        self._waiters.clear()
+        for cb in self.callbacks:
+            cb()
+        self.callbacks.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Flag({self.label!r}, ready={self.ready_time})"
+
+
+class _Proc:
+    """One simulated process (rank or helper) backed by an OS thread."""
+
+    __slots__ = ("engine", "name", "fn", "baton", "thread", "finished", "blocked_on", "result")
+
+    def __init__(self, engine: "Engine", name: str, fn: Callable[[], object]):
+        self.engine = engine
+        self.name = name
+        self.fn = fn
+        self.baton = threading.Event()
+        self.finished = False
+        self.blocked_on: Optional[str] = None
+        self.result: object = None
+        self.thread = threading.Thread(target=self._body, name=f"sim-{name}", daemon=True)
+
+    def _body(self) -> None:
+        self.baton.wait()
+        if self.engine._failure is not None:
+            return
+        try:
+            self.result = self.fn()
+        except _Kill:
+            return
+        except BaseException as exc:  # propagate user errors to run()
+            self.finished = True
+            self.engine._fail(exc)
+            return
+        self.finished = True
+        self.engine._proc_exited(self)
+
+    def park(self, reason: str) -> None:
+        """Hand the baton off and sleep until re-scheduled."""
+        self.blocked_on = reason
+        self.baton.clear()
+        self.engine._dispatch_next()
+        self.baton.wait()
+        self.blocked_on = None
+        if self.engine._failure is not None:
+            raise _Kill()
+
+
+class Engine:
+    """The virtual clock and scheduler.
+
+    Not reentrant: one simulation per Engine. Time is in microseconds.
+    """
+
+    def __init__(self, max_events: int = 200_000_000):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, _Proc]] = []
+        self._seq = itertools.count()
+        self._procs: list[_Proc] = []
+        self._failure: Optional[BaseException] = None
+        self._main_baton = threading.Event()
+        self._started = False
+        self._events_dispatched = 0
+        self._max_events = max_events
+        self._current: Optional[_Proc] = None
+
+    # -- process management -------------------------------------------
+
+    def add_process(self, name: str, fn: Callable[[], object]) -> None:
+        if self._started:
+            raise SimError("cannot add processes after run() started")
+        self._procs.append(_Proc(self, name, fn))
+
+    def run(self) -> float:
+        """Run to completion; return final simulated time (microseconds)."""
+        if self._started:
+            raise SimError("Engine.run() called twice")
+        self._started = True
+        if not self._procs:
+            return self.now
+        for proc in self._procs:
+            proc.thread.start()
+            self._schedule(0.0, proc)
+        self._dispatch_next()
+        self._main_baton.wait()
+        for proc in self._procs:
+            proc.thread.join(timeout=30.0)
+            if proc.thread.is_alive():  # pragma: no cover - defensive
+                raise SimError(f"simulation thread {proc.name} failed to exit")
+        if self._failure is not None:
+            raise self._failure
+        return self.now
+
+    # -- scheduling core (only ever touched by the single running
+    #    thread, or by main before dispatch starts) --------------------
+
+    def _schedule(self, time: float, proc: _Proc) -> None:
+        heappush(self._heap, (time, next(self._seq), proc))
+
+    def _dispatch_next(self) -> None:
+        """Hand the baton to the earliest scheduled process (or finish)."""
+        if self._failure is not None:
+            # teardown already in progress; wake main.
+            self._main_baton.set()
+            return
+        self._events_dispatched += 1
+        if self._events_dispatched > self._max_events:
+            self._fail(SimError(f"event budget exceeded ({self._max_events})"))
+            return
+        if self._heap:
+            time, _, proc = heappop(self._heap)
+            if time > self.now:
+                self.now = time
+            self._current = proc
+            proc.baton.set()
+            return
+        live = [p for p in self._procs if not p.finished]
+        if not live:
+            self._main_baton.set()
+            return
+        self._fail(DeadlockError({p.name: p.blocked_on or "?" for p in live}))
+
+    def _proc_exited(self, proc: _Proc) -> None:
+        self._dispatch_next()
+
+    def _fail(self, exc: BaseException) -> None:
+        """Abort the simulation: record the error, unwind every thread."""
+        if self._failure is None:
+            self._failure = exc
+        for proc in self._procs:
+            if not proc.finished:
+                proc.baton.set()  # parked threads see _failure and raise _Kill
+        self._main_baton.set()
+
+    # -- blocking primitives (called from rank threads) -----------------
+
+    def current_proc(self) -> _Proc:
+        proc = self._current
+        if proc is None:  # pragma: no cover - defensive
+            raise SimError("no process is running")
+        return proc
+
+    def wait_until(self, time: float, reason: str = "timer") -> None:
+        """Block the calling process until virtual ``time``."""
+        proc = self.current_proc()
+        if time <= self.now:
+            return
+        self._schedule(time, proc)
+        proc.park(reason)
+
+    def sleep(self, duration: float, reason: str = "sleep") -> None:
+        if duration < 0:
+            raise SimError(f"negative sleep {duration}")
+        self.wait_until(self.now + duration, reason)
+
+    def wait_flag(self, flag: Flag, reason: Optional[str] = None) -> None:
+        """Block until ``flag`` fires; resume at its ready_time."""
+        proc = self.current_proc()
+        reason = reason or flag.label
+        if flag.ready_time is not None:
+            self.wait_until(flag.ready_time, reason)
+            return
+        flag._waiters.append(proc)
+        proc.park(reason)
+
+    def new_flag(self, label: str = "flag") -> Flag:
+        return Flag(self, label)

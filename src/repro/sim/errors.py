@@ -1,0 +1,25 @@
+"""Simulation error types."""
+
+from __future__ import annotations
+
+
+class SimError(RuntimeError):
+    """Base class for simulation failures."""
+
+
+class DeadlockError(SimError):
+    """Every live rank is blocked and no timed event is pending.
+
+    Carries per-rank diagnostics so the failing communication pattern can
+    be identified — this is the error MCR-DL's mixed-backend
+    synchronization (paper §V-D) is designed to prevent.
+    """
+
+    def __init__(self, blocked: dict[str, str]):
+        self.blocked = dict(blocked)
+        lines = "\n".join(f"  {name}: blocked on {why}" for name, why in blocked.items())
+        super().__init__(f"simulation deadlock — all live ranks blocked:\n{lines}")
+
+
+class SimAborted(SimError):
+    """The simulation was torn down because another rank raised."""

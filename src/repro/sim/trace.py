@@ -1,0 +1,149 @@
+"""Timeline tracing.
+
+The tracer records every kernel/communication interval on every stream.
+It backs three things: the overlap assertions in the synchronization
+tests (Fig. 4's naive-vs-MCR-DL comparison), the communication-logging
+extension (paper §V-E), and the compute-vs-communication breakdowns of
+Figures 1 and 12.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One interval of work on one rank's stream."""
+
+    rank: int
+    stream: str
+    label: str
+    category: str  # "compute" | "comm" | "host" | ...
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries during a simulation."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self.enabled = True
+
+    def record(
+        self, rank: int, stream: str, label: str, category: str, start: float, end: float
+    ) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(rank, stream, label, category, start, end))
+
+    # -- queries -------------------------------------------------------
+
+    def filter(
+        self,
+        rank: Optional[int] = None,
+        category: Optional[str] = None,
+        label_contains: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        out = []
+        for r in self.records:
+            if rank is not None and r.rank != rank:
+                continue
+            if category is not None and r.category != category:
+                continue
+            if label_contains is not None and label_contains not in r.label:
+                continue
+            if predicate is not None and not predicate(r):
+                continue
+            out.append(r)
+        return out
+
+    def busy_time(self, records: Iterable[TraceRecord]) -> float:
+        """Total *union* busy time of the given intervals (overlaps merged)."""
+        spans = sorted((r.start, r.end) for r in records)
+        total = 0.0
+        cur_start, cur_end = None, None
+        for start, end in spans:
+            if cur_end is None or start > cur_end:
+                if cur_end is not None:
+                    total += cur_end - cur_start
+                cur_start, cur_end = start, end
+            else:
+                cur_end = max(cur_end, end)
+        if cur_end is not None:
+            total += cur_end - cur_start
+        return total
+
+    def overlap_time(
+        self, a: Iterable[TraceRecord], b: Iterable[TraceRecord]
+    ) -> float:
+        """Total time during which intervals from both sets are active."""
+        a_spans = sorted((r.start, r.end) for r in a)
+        b_spans = sorted((r.start, r.end) for r in b)
+        total, i, j = 0.0, 0, 0
+        while i < len(a_spans) and j < len(b_spans):
+            start = max(a_spans[i][0], b_spans[j][0])
+            end = min(a_spans[i][1], b_spans[j][1])
+            if end > start:
+                total += end - start
+            if a_spans[i][1] <= b_spans[j][1]:
+                i += 1
+            else:
+                j += 1
+        return total
+
+    def category_totals(self, rank: Optional[int] = None) -> dict[str, float]:
+        """Union busy time per category (per rank if given)."""
+        cats = {r.category for r in self.records if rank is None or r.rank == rank}
+        return {
+            c: self.busy_time(self.filter(rank=rank, category=c)) for c in sorted(cats)
+        }
+
+    # -- export ----------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Export as Chrome trace-event JSON (load in chrome://tracing or
+        Perfetto): one process per rank, one thread per stream, complete
+        ("X") events in microseconds."""
+        events: list[dict] = []
+        thread_ids: dict[tuple[int, str], int] = {}
+        for record in self.records:
+            key = (record.rank, record.stream)
+            if key not in thread_ids:
+                thread_ids[key] = len(
+                    [k for k in thread_ids if k[0] == record.rank]
+                )
+                events.append(
+                    {
+                        "ph": "M",
+                        "name": "thread_name",
+                        "pid": record.rank,
+                        "tid": thread_ids[key],
+                        "args": {"name": record.stream},
+                    }
+                )
+            events.append(
+                {
+                    "ph": "X",
+                    "name": record.label,
+                    "cat": record.category,
+                    "pid": record.rank,
+                    "tid": thread_ids[key],
+                    "ts": record.start,
+                    "dur": record.duration,
+                }
+            )
+        return events
+
+    def save_chrome_trace(self, path) -> None:
+        """Write :meth:`to_chrome_trace` output as a JSON file."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_chrome_trace()))

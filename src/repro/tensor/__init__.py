@@ -1,0 +1,29 @@
+"""Framework-tensor substrate.
+
+MCR-DL operates on PyTorch tensors; this package provides the minimal
+torch-like tensor the runtime needs — NumPy storage plus the metadata a
+communication runtime actually consumes (element count, element size,
+device placement, contiguity) — so the full API from the paper's
+Listing 1 can be implemented and tested without PyTorch.
+"""
+
+from repro.tensor.dtypes import DType, float16, float32, float64, int32, int64, uint8
+from repro.tensor.tensor import SimTensor, Device, empty, full, zeros, ones, arange, from_numpy
+
+__all__ = [
+    "DType",
+    "float16",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "uint8",
+    "SimTensor",
+    "Device",
+    "empty",
+    "full",
+    "zeros",
+    "ones",
+    "arange",
+    "from_numpy",
+]

@@ -1,0 +1,126 @@
+"""Benchmark harness utilities: microbench, reporting, plotting."""
+
+import json
+
+import pytest
+
+from repro.backends.ops import OpFamily
+from repro.bench.microbench import (
+    MICRO_MESSAGE_SIZES,
+    framework_latency_us,
+    omb_latency_us,
+    overhead_pct,
+    sweep_backends,
+)
+from repro.bench.plotting import ascii_chart, series_from_rows
+from repro.bench.reporting import Report, format_table, save_report
+from repro.cluster import lassen
+from repro.core import MCRConfig
+
+
+class TestMicrobench:
+    def test_omb_reference_positive_and_monotone(self):
+        system = lassen()
+        small = omb_latency_us(system, "nccl", OpFamily.ALLREDUCE, 1024, 16)
+        large = omb_latency_us(system, "nccl", OpFamily.ALLREDUCE, 1 << 22, 16)
+        assert 0 < small < large
+
+    def test_framework_latency_exceeds_omb(self):
+        system = lassen()
+        omb = omb_latency_us(system, "mvapich2-gdr", OpFamily.ALLREDUCE, 1 << 16, 4)
+        fw = framework_latency_us(
+            system, "mvapich2-gdr", OpFamily.ALLREDUCE, 1 << 16, 4, config=MCRConfig()
+        )
+        assert fw > omb
+
+    def test_overhead_pct(self):
+        assert overhead_pct(110.0, 100.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            overhead_pct(1.0, 0.0)
+
+    def test_sweep_backends_shape(self):
+        series = sweep_backends(
+            lassen(), ["nccl", "msccl"], OpFamily.ALLGATHER, 8,
+            message_sizes=[1024, 4096],
+        )
+        assert set(series) == {"nccl", "msccl"}
+        assert [s for s, _ in series["nccl"]] == [1024, 4096]
+
+    def test_nonblocking_costs_slightly_more(self):
+        system = lassen()
+        blocking = omb_latency_us(system, "mvapich2-gdr", OpFamily.ALLREDUCE, 4096, 8)
+        nb = omb_latency_us(
+            system, "mvapich2-gdr", OpFamily.ALLREDUCE, 4096, 8, nonblocking=True
+        )
+        assert nb > blocking
+
+    def test_default_sweep_range(self):
+        assert MICRO_MESSAGE_SIZES[0] == 1024
+        assert MICRO_MESSAGE_SIZES[-1] == 64 * 1024 * 1024
+
+
+class TestReporting:
+    def make_report(self):
+        r = Report("figX", "test figure", header=["a", "b"])
+        r.add_row(1, 2.5)
+        r.add_row(10, 25.0)
+        r.add_note("hello")
+        return r
+
+    def test_render_contains_rows_and_notes(self):
+        text = self.make_report().render()
+        assert "figX" in text
+        assert "25.00" in text
+        assert "note: hello" in text
+
+    def test_format_table_alignment(self):
+        table = format_table(["col"], [[123456]])
+        lines = table.splitlines()
+        assert lines[0].strip() == "col"
+        assert lines[2].strip() == "123456"
+
+    def test_save_report_writes_txt_and_json(self, tmp_path):
+        path = save_report(self.make_report(), base=tmp_path)
+        assert path.exists()
+        payload = json.loads((tmp_path / "results" / "figX.json").read_text())
+        assert payload["experiment"] == "figX"
+        assert payload["rows"] == [[1, 2.5], [10, 25.0]]
+
+    def test_to_json_roundtrip_fields(self):
+        payload = self.make_report().to_json()
+        assert payload["header"] == ["a", "b"]
+        assert payload["notes"] == ["hello"]
+
+
+class TestPlotting:
+    def test_chart_renders_all_series(self):
+        chart = ascii_chart(
+            {"one": [(1, 1), (2, 2)], "two": [(1, 2), (2, 4)]},
+            width=20, height=8, title="t",
+        )
+        assert "t" in chart
+        assert "o=one" in chart and "x=two" in chart
+        assert "o" in chart
+
+    def test_log_scales(self):
+        chart = ascii_chart(
+            {"s": [(1024, 10.0), (1 << 20, 1000.0)]},
+            log_x=True, log_y=True, width=30, height=6,
+        )
+        assert "1.02e+03" in chart or "1.02e+3" in chart or "1024" in chart or "1.02" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"s": []})
+
+    def test_flat_series_no_division_error(self):
+        chart = ascii_chart({"s": [(1, 5), (2, 5)]}, width=10, height=4)
+        assert "o" in chart
+
+    def test_series_from_rows(self):
+        rows = [(16, 1.0, 2.0), (32, 3.0, 4.0)]
+        series = series_from_rows(rows, x_col=0, y_cols={"a": 1, "b": 2})
+        assert series["a"] == [(16.0, 1.0), (32.0, 3.0)]
+        assert series["b"][1] == (32.0, 4.0)

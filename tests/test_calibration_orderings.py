@@ -1,0 +1,93 @@
+"""The paper's qualitative performance orderings (DESIGN.md §5.4).
+
+These are the load-bearing calibration facts the figures depend on; if a
+calibration change breaks one of them, a figure's *shape* breaks too.
+"""
+
+import pytest
+
+from repro.backends.ops import OpFamily
+from repro.cluster import lassen, thetagpu
+from repro.core import Tuner
+
+BACKENDS = ["mvapich2-gdr", "nccl", "msccl"]
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    return Tuner(lassen(), BACKENDS, mode="analytic")
+
+
+def best(tuner, family, nbytes, world):
+    lat = {b: tuner.measure(b, family, nbytes, world) for b in BACKENDS}
+    return min(lat, key=lat.get)
+
+
+class TestTableIIShape:
+    """Allgather at one world size: MV2 small, NCCL mid, SCCL large."""
+
+    @pytest.mark.parametrize("msg", [256, 512, 1024, 2048])
+    def test_small_goes_to_mvapich(self, tuner, msg):
+        assert best(tuner, OpFamily.ALLGATHER, msg, 16) == "mvapich2-gdr"
+
+    @pytest.mark.parametrize("msg", [4096, 8192])
+    def test_mid_goes_to_nccl(self, tuner, msg):
+        assert best(tuner, OpFamily.ALLGATHER, msg, 16) == "nccl"
+
+    @pytest.mark.parametrize("msg", [16384, 32768, 1 << 20])
+    def test_large_goes_to_sccl(self, tuner, msg):
+        assert best(tuner, OpFamily.ALLGATHER, msg, 16) == "msccl"
+
+
+class TestAllreduceOrdering:
+    def test_mvapich_wins_small(self, tuner):
+        """§V-F: MVAPICH2-GDR consistently best for small messages."""
+        assert best(tuner, OpFamily.ALLREDUCE, 1024, 64) == "mvapich2-gdr"
+
+    @pytest.mark.parametrize("msg", [1 << 20, 16 << 20, 64 << 20])
+    def test_nccl_wins_dl_range(self, tuner, msg):
+        """§VI-B: NCCL's Allreduce is best at DL message sizes."""
+        assert best(tuner, OpFamily.ALLREDUCE, msg, 64) == "nccl"
+
+    def test_ordering_holds_on_thetagpu_too(self):
+        """§V-F: general trends hold across coarsely similar systems."""
+        theta = Tuner(thetagpu(), BACKENDS, mode="analytic")
+        assert best(theta, OpFamily.ALLREDUCE, 1024, 32) == "mvapich2-gdr"
+        assert best(theta, OpFamily.ALLREDUCE, 16 << 20, 32) == "nccl"
+
+
+class TestAlltoallOrdering:
+    @pytest.mark.parametrize("world", [16, 64, 256])
+    def test_mvapich_wins_at_scale(self, tuner, world):
+        """Fig. 2(b): MVAPICH2-GDR's pairwise Alltoall dominates."""
+        assert best(tuner, OpFamily.ALLTOALL, 1 << 20, world) == "mvapich2-gdr"
+
+    def test_nccl_alltoall_degrades_faster_with_scale(self, tuner):
+        """The per-peer latency of NCCL's p2p Alltoall (Fig. 2b)."""
+
+        def ratio(world):
+            nccl = tuner.measure("nccl", OpFamily.ALLTOALL, 1 << 20, world)
+            mv2 = tuner.measure("mvapich2-gdr", OpFamily.ALLTOALL, 1 << 20, world)
+            return nccl / mv2
+
+        assert ratio(256) > ratio(64) > ratio(16) > 1.0
+
+
+class TestSmallMessageLatency:
+    @pytest.mark.parametrize(
+        "family",
+        [OpFamily.ALLREDUCE, OpFamily.ALLGATHER, OpFamily.BROADCAST, OpFamily.ALLTOALL],
+    )
+    def test_mvapich_wins_256B_everywhere(self, tuner, family):
+        assert best(tuner, family, 256, 16) == "mvapich2-gdr"
+
+
+class TestCrossSizeMonotonicity:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize(
+        "family", [OpFamily.ALLREDUCE, OpFamily.ALLTOALL, OpFamily.ALLGATHER]
+    )
+    def test_latency_monotonic_in_message_size(self, tuner, backend, family):
+        sizes = [256 * (2**i) for i in range(12)]
+        lat = [tuner.measure(backend, family, s, 16) for s in sizes]
+        assert all(b >= a for a, b in zip(lat, lat[1:]))

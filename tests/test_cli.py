@@ -1,0 +1,108 @@
+"""CLI surface (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+
+class TestBackendsAndSystems:
+    def test_backends_lists_all(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nccl", "mvapich2-gdr", "openmpi", "msccl", "gloo"):
+            assert name in out
+
+    def test_systems(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        assert "lassen" in out and "thetagpu" in out
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit, match="unknown system"):
+            main(["micro", "--system", "frontier"])
+
+
+class TestTune:
+    def test_tune_writes_table(self, tmp_path, capsys):
+        out_file = tmp_path / "table.json"
+        rc = main([
+            "tune", "--system", "lassen", "--world-sizes", "8",
+            "--num-sizes", "4", "--ops", "allgather", "--out", str(out_file),
+        ])
+        assert rc == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["system"] == "lassen"
+        assert "allgather" in payload["entries"]
+        assert "tuned 4 cells" in capsys.readouterr().out
+
+
+class TestMicro:
+    def test_micro_prints_series(self, capsys):
+        rc = main([
+            "micro", "--system", "lassen", "--op", "allreduce",
+            "--world", "16", "--num-sizes", "3",
+            "--backends", "nccl", "mvapich2-gdr",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "msg_bytes" in out
+        assert out.count("\n") >= 4
+
+
+class TestTrain:
+    def test_train_outputs_json(self, capsys):
+        rc = main([
+            "train", "--model", "resnet50", "--system", "lassen",
+            "--world", "4", "--plan", "nccl", "--steps", "1", "--warmup", "0",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "resnet50"
+        assert payload["samples_per_sec"] > 0
+
+    def test_train_mixed_plan(self, capsys):
+        rc = main([
+            "train", "--model", "dlrm", "--system", "thetagpu",
+            "--world", "4", "--plan", "mixed", "--steps", "1", "--warmup", "0",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"] == "MCR-DL"
+
+    def test_train_tuned_requires_table(self):
+        with pytest.raises(SystemExit, match="requires --table"):
+            main(["train", "--plan", "tuned"])
+
+    def test_train_tuned_with_table(self, tmp_path, capsys):
+        table = tmp_path / "t.json"
+        main([
+            "tune", "--system", "thetagpu", "--world-sizes", "4",
+            "--num-sizes", "3", "--ops", "allreduce", "alltoall",
+            "--out", str(table),
+        ])
+        capsys.readouterr()
+        rc = main([
+            "train", "--model", "dlrm", "--system", "thetagpu", "--world", "4",
+            "--plan", "tuned", "--table", str(table), "--steps", "1",
+            "--warmup", "0",
+        ])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["plan"] == "MCR-DL-T"
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit, match="unknown model"):
+            main(["train", "--model", "bert"])

@@ -1,0 +1,121 @@
+"""Cluster topology: placement, paths, comm-path aggregation, systems."""
+
+import pytest
+
+from repro.cluster import (
+    A100,
+    IB_EDR,
+    NVSWITCH,
+    V100,
+    LinkSpec,
+    generic_cluster,
+    lassen,
+    thetagpu,
+)
+
+
+class TestLinkSpec:
+    def test_transfer_time_alpha_beta(self):
+        link = LinkSpec("x", latency_us=2.0, bandwidth_gbps=10.0)
+        # 10 GB/s = 10_000 bytes/us
+        assert link.transfer_us(10_000) == pytest.approx(3.0)
+
+    def test_beta(self):
+        link = LinkSpec("x", 1.0, 20.0)
+        assert link.beta_us_per_byte == pytest.approx(1 / 20_000)
+
+
+class TestGpuSpecs:
+    def test_effective_flops_below_peak(self):
+        assert V100.effective_fp16_flops() < V100.fp16_tflops * 1e12
+        assert A100.effective_fp16_flops() > V100.effective_fp16_flops()
+
+
+class TestPlacement:
+    def test_dense_packing_lassen(self):
+        sys = lassen()
+        assert sys.gpus_per_node == 4
+        assert sys.node_of(0) == 0
+        assert sys.node_of(3) == 0
+        assert sys.node_of(4) == 1
+
+    def test_same_node(self):
+        sys = thetagpu()  # 8 per node
+        assert sys.same_node(0, 7)
+        assert not sys.same_node(7, 8)
+
+    def test_nodes_for_rounds_up(self):
+        assert lassen().nodes_for(5) == 2
+        assert lassen().nodes_for(4) == 1
+
+    def test_validate_world_size(self):
+        with pytest.raises(ValueError):
+            thetagpu().validate_world_size(24 * 8 + 1)
+        with pytest.raises(ValueError):
+            lassen().validate_world_size(0)
+
+
+class TestPaths:
+    def test_intra_vs_inter_link(self):
+        sys = thetagpu()
+        assert sys.path(0, 1) is NVSWITCH
+        assert sys.path(0, 8).name == "IB-HDR"
+
+    def test_loopback_is_fast(self):
+        sys = lassen()
+        loop = sys.path(2, 2)
+        assert loop.latency_us < sys.node.intra_link.latency_us
+
+
+class TestCommPath:
+    def test_single_node_uses_intra_only(self):
+        path = lassen().comm_path(4)
+        assert path.n_nodes == 1
+        assert path.intra_fraction == 1.0
+        assert path.alpha_us == lassen().node.intra_link.latency_us
+
+    def test_multi_node_uses_inter_alpha(self):
+        path = lassen().comm_path(8)
+        assert path.n_nodes == 2
+        assert path.spans_nodes
+        assert path.alpha_us == IB_EDR.latency_us
+
+    def test_beta_degrades_with_scale(self):
+        sys = lassen()
+        b8 = sys.comm_path(8).beta_us_per_byte
+        b64 = sys.comm_path(64).beta_us_per_byte
+        b256 = sys.comm_path(256).beta_us_per_byte
+        assert b8 < b64 <= b256
+
+    def test_intra_fraction_shrinks_with_scale(self):
+        sys = thetagpu()
+        assert sys.comm_path(16).intra_fraction > sys.comm_path(64).intra_fraction
+
+    def test_single_rank(self):
+        path = lassen().comm_path(1)
+        assert path.n_nodes == 1
+        assert path.ppn == 1
+
+
+class TestSystems:
+    def test_lassen_shape(self):
+        sys = lassen()
+        assert sys.max_nodes == 792
+        assert sys.node.gpu is V100
+
+    def test_thetagpu_shape(self):
+        sys = thetagpu()
+        assert sys.max_nodes == 24
+        assert sys.node.gpu is A100
+        assert sys.gpus_per_node == 8
+
+    def test_generic_cluster_custom(self):
+        sys = generic_cluster(gpus_per_node=2, max_nodes=10)
+        assert sys.gpus_per_node == 2
+        sys.validate_world_size(20)
+
+    def test_host_staging_cost(self):
+        sys = lassen()
+        small = sys.host_staging_us(1024)
+        big = sys.host_staging_us(1 << 20)
+        assert big > small > 0

@@ -1,0 +1,118 @@
+"""Fixed-rate lossy compression (paper §V-E): size contract, error
+bounds, and integration into the communicator."""
+
+import numpy as np
+import pytest
+
+from repro.core import CompressionConfig, MCRCommunicator, MCRConfig
+from repro.ext.compression import BLOCK_ELEMS, FixedRateCodec
+from repro.sim import Simulator
+
+
+class TestCodec:
+    def test_compressed_size_contract(self):
+        codec = FixedRateCodec(rate_bits=8)
+        nbytes = 4096 * 4  # 4096 float32 elements
+        out = codec.compressed_nbytes(nbytes)
+        # 8 bits/elem payload + one fp32 scale per 256-elem block
+        assert out == 4096 + (4096 // BLOCK_ELEMS) * 4
+
+    def test_ratio_near_rate(self):
+        codec = FixedRateCodec(rate_bits=8)
+        assert 3.5 < codec.ratio(1 << 20) <= 4.0
+
+    def test_rate_bits_validated(self):
+        with pytest.raises(ValueError):
+            FixedRateCodec(rate_bits=1)
+        with pytest.raises(ValueError):
+            FixedRateCodec(rate_bits=32)
+
+    def test_roundtrip_error_bounded(self):
+        codec = FixedRateCodec(rate_bits=8)
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=4096).astype(np.float32)
+        original = data.copy()
+        codec.apply_quantization_error(data)
+        # error bounded by block max * max_relative_error per block
+        blocks = original.reshape(-1, BLOCK_ELEMS)
+        err = np.abs(data.reshape(-1, BLOCK_ELEMS) - blocks)
+        bound = np.abs(blocks).max(axis=1, keepdims=True) * codec.max_relative_error()
+        assert np.all(err <= bound + 1e-7)
+
+    def test_higher_rate_lower_error(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=1024).astype(np.float32)
+        errs = {}
+        for bits in (4, 8, 12):
+            d = data.copy()
+            FixedRateCodec(rate_bits=bits).apply_quantization_error(d)
+            errs[bits] = np.abs(d - data).max()
+        assert errs[12] < errs[8] < errs[4]
+
+    def test_zero_block_stable(self):
+        data = np.zeros(512, dtype=np.float32)
+        FixedRateCodec().apply_quantization_error(data)
+        assert np.all(data == 0)
+
+    def test_integer_payloads_untouched(self):
+        data = np.arange(64, dtype=np.int64)
+        FixedRateCodec().apply_quantization_error(data)
+        assert np.array_equal(data, np.arange(64))
+
+    def test_partial_block(self):
+        data = np.ones(100, dtype=np.float32)  # < one block
+        FixedRateCodec().apply_quantization_error(data)
+        assert np.allclose(data, 1.0, atol=0.01)
+
+    def test_codec_time_scales_with_bytes(self):
+        codec = FixedRateCodec()
+        assert codec.codec_time_us(1 << 20) > codec.codec_time_us(1 << 10) > 0
+
+
+class TestCommIntegration:
+    def config(self):
+        return MCRConfig(
+            compression=CompressionConfig(enabled=True, rate_bits=8)
+        )
+
+    def test_compressed_allreduce_approximately_correct(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"], config=self.config())
+            x = ctx.full(1024, float(ctx.rank + 1))
+            comm.all_reduce("nccl", x)
+            comm.synchronize()
+            comm.finalize()
+            return x.data.copy()
+
+        for data in Simulator(2, seed=3).run(main).rank_results:
+            assert np.allclose(data, 3.0, rtol=0.02)
+
+    def test_compression_shrinks_comm_time(self):
+        def main(ctx, config):
+            comm = MCRCommunicator(ctx, ["nccl"], config=config)
+            x = ctx.virtual_tensor(16 << 20)
+            h = comm.all_reduce("nccl", x, async_op=True)
+            h.synchronize()
+            comm.finalize()
+            return ctx.now
+
+        plain = max(Simulator(4).run(main, MCRConfig()).rank_results)
+        compressed = max(
+            Simulator(4).run(main, self.config()).rank_results
+        )
+        assert compressed < plain * 0.5  # ~4x less wire traffic
+
+    def test_ineligible_families_not_compressed(self):
+        """Alltoall shuffles indices/embeddings: exact by default."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"], config=self.config())
+            x = ctx.tensor([float(ctx.rank * ctx.world_size + j) for j in range(ctx.world_size)])
+            out = ctx.zeros(ctx.world_size)
+            comm.all_to_all_single("nccl", out, x)
+            comm.synchronize()
+            comm.finalize()
+            return out.data.copy()
+
+        results = Simulator(2).run(main).rank_results
+        assert np.array_equal(results[0], [0, 2])  # bit exact

@@ -1,0 +1,123 @@
+"""Collective algorithm cost models: formulas, monotonicity, edge cases."""
+
+import pytest
+
+from repro.backends.cost import (
+    ALGORITHMS,
+    CostParams,
+    binomial_broadcast,
+    bruck_alltoall,
+    evaluate,
+    p2p_alltoall,
+    pairwise_alltoall,
+    recursive_doubling_allreduce,
+    ring_allgather,
+    ring_allreduce,
+    tree_allreduce,
+)
+
+
+def params(p=8, n=1 << 20, alpha=2.0, beta=1e-4):
+    return CostParams(alpha_us=alpha, beta_us_per_byte=beta, p=p, n=n)
+
+
+class TestFormulas:
+    def test_ring_allreduce_formula(self):
+        c = params(p=4, n=1000, alpha=1.0, beta=0.001)
+        # 2(p-1) alpha + 2n(p-1)/p beta + n gamma
+        expected = 6 * 1.0 + 2 * 1000 * 0.75 * 0.001 + 1000 * c.gamma_us_per_byte
+        assert ring_allreduce(c) == pytest.approx(expected)
+
+    def test_recursive_doubling_formula(self):
+        c = params(p=8, n=100, alpha=1.0, beta=0.01)
+        expected = 3 * (1.0 + 100 * 0.01) + 100 * c.gamma_us_per_byte
+        assert recursive_doubling_allreduce(c) == pytest.approx(expected)
+
+    def test_binomial_broadcast_formula(self):
+        c = params(p=8, n=100, alpha=2.0, beta=0.01)
+        assert binomial_broadcast(c) == pytest.approx(3 * (2.0 + 1.0))
+
+    def test_ring_allgather_receives_p_minus_1_chunks(self):
+        c = params(p=4, n=1000, alpha=0.0, beta=0.001)
+        assert ring_allgather(c) == pytest.approx(3 * 1000 * 0.001)
+
+    def test_single_rank_collectives_are_free(self):
+        c = params(p=1)
+        for name, fn in ALGORITHMS.items():
+            if name in ("p2p_send",):
+                continue
+            assert fn(CostParams(2.0, 1e-4, 1, 100)) == 0.0, name
+
+    def test_non_power_of_two_p(self):
+        # log terms must use ceil, not crash or undercount
+        c = params(p=6, n=1024)
+        assert recursive_doubling_allreduce(c) > recursive_doubling_allreduce(
+            params(p=4, n=1024)
+        )
+
+
+class TestRelativeBehaviour:
+    def test_ring_beats_rd_for_large_messages(self):
+        big = params(p=16, n=64 << 20)
+        assert ring_allreduce(big) < recursive_doubling_allreduce(big)
+
+    def test_rd_beats_ring_for_small_messages(self):
+        small = params(p=16, n=256)
+        assert recursive_doubling_allreduce(small) < ring_allreduce(small)
+
+    def test_tree_between_rd_and_ring_for_medium(self):
+        mid = params(p=64, n=1 << 20)
+        assert tree_allreduce(mid) < ring_allreduce(mid)
+
+    def test_bruck_beats_pairwise_small(self):
+        small = params(p=32, n=32 * 64)  # 64B per pair
+        assert bruck_alltoall(small) < pairwise_alltoall(small)
+
+    def test_pairwise_beats_bruck_large(self):
+        large = params(p=32, n=32 << 20)
+        assert pairwise_alltoall(large) < bruck_alltoall(large)
+
+    def test_p2p_alltoall_pays_per_peer_latency(self):
+        c = params(p=64, n=64 * 1024)
+        assert p2p_alltoall(c) > pairwise_alltoall(c)
+
+    def test_costs_increase_with_message_size(self):
+        for name, fn in ALGORITHMS.items():
+            if name in ("dissemination_barrier",):
+                continue
+            small = fn(params(p=8, n=1024))
+            large = fn(params(p=8, n=1 << 20))
+            assert large >= small, name
+
+    def test_costs_increase_with_scale(self):
+        for name, fn in ALGORITHMS.items():
+            if name == "p2p_send":
+                continue
+            p8 = fn(params(p=8))
+            p64 = fn(params(p=64))
+            assert p64 >= p8, name
+
+
+class TestEvaluate:
+    def test_known_algorithm(self):
+        assert evaluate("ring_allreduce", params()) > 0
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown collective algorithm"):
+            evaluate("quantum_allreduce", params())
+
+    def test_registry_complete(self):
+        # every algorithm a backend can name must be priceable
+        from repro.backends import available_backends, create_backend
+        from repro.backends.ops import OpFamily
+        from repro.cluster import generic_cluster
+
+        sys = generic_cluster()
+        for name in available_backends():
+            backend = create_backend(name, 0, 8, sys)
+            for family in OpFamily:
+                if family is OpFamily.BARRIER:
+                    continue
+                for nbytes in (256, 1 << 20):
+                    algo = backend.algorithm_for(family, nbytes, 8)
+                    assert algo in ALGORITHMS, (name, family, algo)

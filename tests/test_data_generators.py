@@ -1,0 +1,141 @@
+"""Synthetic data generators (models.data) and straggler modeling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.models.data import (
+    gating_token_counts,
+    imbalance_factor,
+    shard_counts,
+    synthetic_token_batch,
+    unique_row_fraction,
+    zipfian_indices,
+)
+from repro.sim import Simulator
+
+
+class TestZipfian:
+    def test_indices_in_range(self):
+        rng = np.random.default_rng(0)
+        idx = zipfian_indices(rng, n_rows=1000, n_lookups=5000)
+        assert idx.min() >= 0 and idx.max() < 1000
+
+    def test_heavy_tail_concentrates_on_head(self):
+        rng = np.random.default_rng(0)
+        idx = zipfian_indices(rng, n_rows=100_000, n_lookups=10_000, exponent=1.05)
+        head_share = np.mean(idx < 1000)  # top 1% of rows
+        assert head_share > 0.3  # far above the uniform 1%
+
+    def test_higher_exponent_more_skew(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        mild = zipfian_indices(rng1, 10_000, 5000, exponent=0.8)
+        steep = zipfian_indices(rng2, 10_000, 5000, exponent=1.5)
+        assert np.mean(steep < 100) > np.mean(mild < 100)
+
+    def test_deterministic_under_seed(self):
+        a = zipfian_indices(np.random.default_rng(7), 100, 50)
+        b = zipfian_indices(np.random.default_rng(7), 100, 50)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            zipfian_indices(rng, 0, 10)
+        with pytest.raises(ValueError):
+            zipfian_indices(rng, 10, 10, exponent=0)
+
+    def test_unique_fraction_bounds(self):
+        rng = np.random.default_rng(0)
+        idx = zipfian_indices(rng, 1000, 500)
+        frac = unique_row_fraction(idx, 1000)
+        assert 0 < frac <= 0.5
+        assert unique_row_fraction(np.array([], dtype=np.int64), 10) == 0.0
+
+
+class TestShardCounts:
+    def test_counts_conserve_total(self):
+        rng = np.random.default_rng(0)
+        idx = zipfian_indices(rng, 4096, 1000)
+        counts = shard_counts(idx, 8)
+        assert counts.sum() == 1000
+        assert len(counts) == 8
+
+    def test_zipf_shards_imbalanced(self):
+        rng = np.random.default_rng(0)
+        idx = zipfian_indices(rng, 100_000, 10_000, exponent=1.2)
+        counts = shard_counts(idx, 16)
+        assert imbalance_factor(counts) > 2.0  # shard 0 holds the head
+
+    def test_empty(self):
+        counts = shard_counts(np.array([], dtype=np.int64), 4)
+        assert counts.tolist() == [0, 0, 0, 0]
+
+
+class TestGating:
+    def test_counts_conserve_tokens(self):
+        rng = np.random.default_rng(0)
+        counts = gating_token_counts(rng, 8192, 32)
+        assert counts.sum() == 8192
+
+    def test_lower_temperature_more_imbalance(self):
+        hot = gating_token_counts(np.random.default_rng(3), 8192, 32, temperature=0.25)
+        cool = gating_token_counts(np.random.default_rng(3), 8192, 32, temperature=4.0)
+        assert imbalance_factor(hot) > imbalance_factor(cool)
+
+    def test_imbalance_factor_balanced(self):
+        assert imbalance_factor(np.array([5, 5, 5, 5])) == 1.0
+
+    @given(
+        tokens=st.integers(0, 4096),
+        experts=st.integers(1, 64),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gating_properties(self, tokens, experts, seed):
+        rng = np.random.default_rng(seed)
+        counts = gating_token_counts(rng, tokens, experts)
+        assert counts.sum() == tokens
+        assert (counts >= 0).all()
+        assert len(counts) == experts
+
+
+class TestTokenBatch:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        batch = synthetic_token_batch(rng, 4, 128, vocab=1000)
+        assert batch.shape == (4, 128)
+        assert batch.min() >= 0 and batch.max() < 1000
+
+
+class TestStragglers:
+    def test_straggler_slows_its_own_kernels(self):
+        def main(ctx):
+            node = ctx.launch(1000.0)
+            ctx.stream_synchronize()
+            return node.end - node.start
+
+        res = Simulator(2, stragglers={1: 2.0}).run(main)
+        assert res.rank_results[0] == 1000.0
+        assert res.rank_results[1] == 2000.0
+
+    def test_straggler_delays_collectives_for_everyone(self):
+        from repro.core import MCRCommunicator
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"])
+            ctx.launch(1000.0, label="compute")
+            ctx.stream_synchronize()
+            comm.all_reduce("mvapich2-gdr", ctx.zeros(16))
+            comm.finalize()
+            return ctx.now
+
+        clean = max(Simulator(4).run(main).rank_results)
+        skewed = max(Simulator(4, stragglers={3: 3.0}).run(main).rank_results)
+        assert skewed > clean + 1500.0  # everyone waits for rank 3
+
+    def test_invalid_straggler_spec(self):
+        with pytest.raises(ValueError):
+            Simulator(2, stragglers={5: 2.0})
+        with pytest.raises(ValueError):
+            Simulator(2, stragglers={0: 0.0})

@@ -1,0 +1,211 @@
+"""Data-plane correctness for every collective (pure NumPy layer)."""
+
+import numpy as np
+import pytest
+
+from repro.backends import datapath
+from repro.backends.ops import ReduceOp
+
+
+def bufs(p, n, fn):
+    return [np.array([fn(r, i) for i in range(n)], dtype=np.float32) for r in range(p)]
+
+
+class TestAllReduce:
+    @pytest.mark.parametrize("p", [1, 2, 3, 8])
+    def test_sum(self, p):
+        ins = bufs(p, 4, lambda r, i: r + i)
+        outs = [np.zeros(4, dtype=np.float32) for _ in range(p)]
+        datapath.all_reduce(ins, outs, ReduceOp.SUM)
+        expected = sum(range(p)) + np.arange(4) * p
+        for out in outs:
+            assert np.allclose(out, expected)
+
+    def test_in_place_aliasing(self):
+        ins = bufs(3, 4, lambda r, i: float(r))
+        datapath.all_reduce(ins, ins, ReduceOp.SUM)
+        for buf in ins:
+            assert np.allclose(buf, 3.0)
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            (ReduceOp.SUM, 6.0),
+            (ReduceOp.PROD, 0.0),
+            (ReduceOp.MIN, 0.0),
+            (ReduceOp.MAX, 3.0),
+            (ReduceOp.AVG, 1.5),
+        ],
+    )
+    def test_ops(self, op, expected):
+        ins = [np.full(2, float(r), dtype=np.float32) for r in range(4)]
+        outs = [np.zeros(2, dtype=np.float32) for _ in range(4)]
+        datapath.all_reduce(ins, outs, op)
+        assert np.allclose(outs[0], expected)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            datapath.all_reduce(
+                [np.zeros(3), np.zeros(4)], [np.zeros(3), np.zeros(4)], ReduceOp.SUM
+            )
+
+
+class TestReduceBroadcast:
+    def test_reduce_to_root(self):
+        ins = [np.full(3, float(r + 1), dtype=np.float32) for r in range(3)]
+        root = np.zeros(3, dtype=np.float32)
+        datapath.reduce(ins, root, ReduceOp.SUM)
+        assert np.allclose(root, 6.0)
+
+    def test_broadcast(self):
+        src = np.arange(4, dtype=np.float32)
+        outs = [np.zeros(4, dtype=np.float32) for _ in range(3)]
+        datapath.broadcast(src, outs)
+        for out in outs:
+            assert np.array_equal(out, src)
+
+    def test_broadcast_aliased_root(self):
+        src = np.arange(4, dtype=np.float32)
+        outs = [src, np.zeros(4, dtype=np.float32)]
+        datapath.broadcast(src, outs)
+        assert np.array_equal(outs[1], np.arange(4))
+
+
+class TestAllGather:
+    def test_rank_major_order(self):
+        ins = [np.full(2, float(r), dtype=np.float32) for r in range(3)]
+        outs = [np.zeros(6, dtype=np.float32) for _ in range(3)]
+        datapath.all_gather(ins, outs)
+        assert np.array_equal(outs[0], [0, 0, 1, 1, 2, 2])
+
+    def test_v_variant_with_displacements(self):
+        ins = [
+            np.array([1, 1], dtype=np.float32),
+            np.array([2, 2, 2], dtype=np.float32),
+        ]
+        rcounts, displs = [2, 3], [0, 2]
+        outs = [np.zeros(5, dtype=np.float32) for _ in range(2)]
+        datapath.all_gather_v(ins, outs, rcounts, displs)
+        assert np.array_equal(outs[1], [1, 1, 2, 2, 2])
+
+    def test_v_variant_gap_displacements(self):
+        ins = [np.array([1.0], dtype=np.float32), np.array([2.0], dtype=np.float32)]
+        outs = [np.full(4, -1, dtype=np.float32) for _ in range(2)]
+        datapath.all_gather_v(ins, outs, [1, 1], [0, 3])
+        assert np.array_equal(outs[0], [1, -1, -1, 2])
+
+    def test_v_displacement_overflow_rejected(self):
+        ins = [np.ones(2, dtype=np.float32)] * 2
+        outs = [np.zeros(3, dtype=np.float32)] * 2
+        with pytest.raises(ValueError):
+            datapath.all_gather_v(ins, outs, [2, 2], [0, 2])
+
+
+class TestReduceScatter:
+    def test_chunks(self):
+        ins = [np.arange(6, dtype=np.float32) for _ in range(3)]
+        outs = [np.zeros(2, dtype=np.float32) for _ in range(3)]
+        datapath.reduce_scatter(ins, outs, ReduceOp.SUM)
+        assert np.array_equal(outs[0], [0, 3])
+        assert np.array_equal(outs[2], [12, 15])
+
+    def test_indivisible_rejected(self):
+        ins = [np.zeros(5, dtype=np.float32)] * 2
+        outs = [np.zeros(2, dtype=np.float32)] * 2
+        with pytest.raises(ValueError):
+            datapath.reduce_scatter(ins, outs, ReduceOp.SUM)
+
+
+class TestAllToAll:
+    def test_single_transpose(self):
+        p = 3
+        ins = [np.arange(p, dtype=np.float32) + 10 * r for r in range(p)]
+        outs = [np.zeros(p, dtype=np.float32) for _ in range(p)]
+        datapath.all_to_all_single(ins, outs)
+        # rank j receives chunk j from every rank i, in rank order
+        for j in range(p):
+            assert np.array_equal(outs[j], [10 * i + j for i in range(p)])
+
+    def test_single_roundtrip(self):
+        p = 4
+        rng = np.random.default_rng(0)
+        ins = [rng.random(p * 2).astype(np.float32) for _ in range(p)]
+        mid = [np.zeros(p * 2, dtype=np.float32) for _ in range(p)]
+        back = [np.zeros(p * 2, dtype=np.float32) for _ in range(p)]
+        datapath.all_to_all_single(ins, mid)
+        datapath.all_to_all_single(mid, back)
+        for a, b in zip(ins, back):
+            assert np.allclose(a, b)
+
+    def test_v_variant(self):
+        # rank 0 sends [1] to r0, [2,2] to r1; rank 1 sends [3,3] to r0, [4] to r1
+        ins = [
+            np.array([1, 2, 2], dtype=np.float32),
+            np.array([3, 3, 4], dtype=np.float32),
+        ]
+        outs = [np.zeros(3, dtype=np.float32), np.zeros(3, dtype=np.float32)]
+        scounts = [[1, 2], [2, 1]]
+        sdispls = [[0, 1], [0, 2]]
+        rcounts = [[1, 2], [2, 1]]
+        rdispls = [[0, 1], [0, 2]]
+        datapath.all_to_all_v(ins, outs, scounts, sdispls, rcounts, rdispls)
+        assert np.array_equal(outs[0], [1, 3, 3])
+        assert np.array_equal(outs[1], [2, 2, 4])
+
+    def test_v_count_mismatch_rejected(self):
+        ins = [np.zeros(2, dtype=np.float32)] * 2
+        outs = [np.zeros(2, dtype=np.float32)] * 2
+        with pytest.raises(ValueError, match="scounts"):
+            datapath.all_to_all_v(
+                ins, outs, [[1, 1], [1, 1]], [[0, 1], [0, 1]],
+                [[1, 2], [1, 1]], [[0, 1], [0, 1]],
+            )
+
+
+class TestGatherScatter:
+    def test_gather(self):
+        ins = [np.full(2, float(r), dtype=np.float32) for r in range(3)]
+        root = np.zeros(6, dtype=np.float32)
+        datapath.gather(ins, root)
+        assert np.array_equal(root, [0, 0, 1, 1, 2, 2])
+
+    def test_gather_v(self):
+        ins = [np.array([1.0], dtype=np.float32), np.array([2.0, 2.0], dtype=np.float32)]
+        root = np.zeros(3, dtype=np.float32)
+        datapath.gather_v(ins, root, [1, 2], [0, 1])
+        assert np.array_equal(root, [1, 2, 2])
+
+    def test_scatter(self):
+        src = np.arange(6, dtype=np.float32)
+        outs = [np.zeros(2, dtype=np.float32) for _ in range(3)]
+        datapath.scatter(src, outs)
+        assert np.array_equal(outs[1], [2, 3])
+
+    def test_scatter_v(self):
+        src = np.arange(5, dtype=np.float32)
+        outs = [np.zeros(2, dtype=np.float32), np.zeros(3, dtype=np.float32)]
+        datapath.scatter_v(src, outs, [2, 3], [0, 2])
+        assert np.array_equal(outs[0], [0, 1])
+        assert np.array_equal(outs[1], [2, 3, 4])
+
+    def test_scatter_v_overflow_rejected(self):
+        src = np.arange(3, dtype=np.float32)
+        outs = [np.zeros(2, dtype=np.float32)] * 2
+        with pytest.raises(ValueError):
+            datapath.scatter_v(src, outs, [2, 2], [0, 2])
+
+
+class TestReduceOpApply:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReduceOp.SUM.apply([])
+
+    def test_avg_preserves_dtype(self):
+        arrays = [np.ones(2, dtype=np.float32) * v for v in (1.0, 2.0)]
+        out = ReduceOp.AVG.apply(arrays)
+        assert out.dtype == np.float32
+        assert np.allclose(out, 1.5)
+
+    def test_integer_sum(self):
+        arrays = [np.array([1, 2], dtype=np.int64), np.array([3, 4], dtype=np.int64)]
+        assert np.array_equal(ReduceOp.SUM.apply(arrays), [4, 6])

@@ -1,0 +1,169 @@
+"""DDP-style gradient synchronization (ext.ddp)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MCRCommunicator, MCRError
+from repro.ext.ddp import DistributedDataParallel
+from repro.sim import Simulator
+
+
+def spmd(world, fn):
+    def main(ctx):
+        comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"])
+        out = fn(ctx, comm)
+        comm.finalize()
+        return out
+
+    return Simulator(world).run(main).rank_results
+
+
+class TestBucketing:
+    def test_reverse_order_greedy_fill(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl", bucket_bytes=40)
+            for name, numel in [("a", 4), ("b", 4), ("c", 4)]:  # 16 B each
+                ddp.register_parameter(name, ctx.zeros(numel))
+            ddp.finalize_buckets()
+            return ddp.bucket_layout()
+
+        layout = spmd(2, fn)[0]
+        # reverse registration order, two fit per 40-byte bucket
+        assert layout == [["c", "b"], ["a"]]
+
+    def test_num_buckets_single_when_small(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            ddp.register_parameter("w", ctx.zeros(16))
+            ddp.finalize_buckets()
+            return ddp.num_buckets
+
+        assert spmd(2, fn)[0] == 1
+
+    def test_duplicate_registration_rejected(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            ddp.register_parameter("w", ctx.zeros(4))
+            with pytest.raises(MCRError, match="twice"):
+                ddp.register_parameter("w", ctx.zeros(4))
+            ddp.finalize_buckets()
+
+        spmd(1, fn)
+
+    def test_lifecycle_errors(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            with pytest.raises(MCRError, match="no parameters"):
+                ddp.finalize_buckets()
+            ddp.register_parameter("w", ctx.zeros(4))
+            with pytest.raises(MCRError, match="finalize_buckets"):
+                ddp.grad_ready("w")
+            ddp.finalize_buckets()
+            with pytest.raises(MCRError, match="register parameters after"):
+                ddp.register_parameter("x", ctx.zeros(4))
+            with pytest.raises(MCRError, match="unknown parameter"):
+                ddp.grad_ready("nope")
+
+        spmd(1, fn)
+
+
+class TestReduction:
+    def test_gradients_averaged_across_ranks(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            w = ctx.full(8, float(ctx.rank))
+            b = ctx.full(4, float(ctx.rank * 10))
+            ddp.register_parameter("w", w)
+            ddp.register_parameter("b", b)
+            ddp.finalize_buckets()
+            ddp.grad_ready("b")
+            ddp.grad_ready("w")
+            ddp.wait_all()
+            return (w.data.copy(), b.data.copy())
+
+        results = spmd(4, fn)
+        for w, b in results:
+            assert np.allclose(w, (0 + 1 + 2 + 3) / 4)
+            assert np.allclose(b, (0 + 10 + 20 + 30) / 4)
+
+    def test_multiple_steps_reuse(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="mvapich2-gdr")
+            w = ctx.zeros(4)
+            ddp.register_parameter("w", w)
+            ddp.finalize_buckets()
+            values = []
+            for step in range(3):
+                w.fill_(float(ctx.rank + step))
+                ddp.grad_ready("w")
+                ddp.wait_all()
+                values.append(float(w.data[0]))
+            return values
+
+        results = spmd(2, fn)
+        assert results[0] == [0.5, 1.5, 2.5]
+
+    def test_wait_with_missing_grad_rejected(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            ddp.register_parameter("w", ctx.zeros(4))
+            ddp.register_parameter("v", ctx.zeros(4))
+            ddp.finalize_buckets()
+            ddp.grad_ready("w")
+            with pytest.raises(MCRError, match="still missing"):
+                ddp.wait_all()
+            # finish the step so the job exits cleanly
+            ddp.grad_ready("v")
+            ddp.wait_all()
+
+        spmd(2, fn)
+
+    def test_double_ready_rejected(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            ddp.register_parameter("w", ctx.zeros(4))
+            ddp.register_parameter("v", ctx.zeros(4))
+            ddp.finalize_buckets()
+            ddp.grad_ready("w")
+            with pytest.raises(MCRError, match="ready twice"):
+                ddp.grad_ready("w")
+            ddp.grad_ready("v")
+            ddp.wait_all()
+
+        spmd(2, fn)
+
+    def test_virtual_gradients_supported(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            ddp.register_parameter("big", ctx.virtual_tensor(1 << 22))
+            ddp.finalize_buckets()
+            ddp.grad_ready("big")
+            ddp.wait_all()
+            return ctx.now
+
+        assert all(t > 0 for t in spmd(2, fn))
+
+
+class TestOverlap:
+    def test_early_buckets_reduce_during_backward(self):
+        """Bucket 0 (last-registered params) should complete while later
+        gradients are still being produced."""
+
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl", bucket_bytes=64)
+            first = ctx.zeros(16)
+            last = ctx.zeros(16)
+            ddp.register_parameter("first", first)
+            ddp.register_parameter("last", last)
+            ddp.finalize_buckets()
+            assert ddp.num_buckets == 2
+            ddp.grad_ready("last")  # bucket 0 posts immediately
+            ctx.sleep(5_000.0)  # rest of backward
+            t0 = ctx.now
+            ddp.grad_ready("first")
+            ddp.wait_all()
+            # bucket 0 was long done; only bucket 1's latency is paid here
+            return ctx.now - t0
+
+        tail = spmd(2, fn)
+        assert max(tail) < 4_000.0

@@ -1,0 +1,96 @@
+"""Explicit fat-tree fabric model."""
+
+import pytest
+
+from repro.cluster import IB_EDR, lassen
+from repro.cluster.fattree import FatTreeFabric
+
+
+class TestStructure:
+    def test_leaf_assignment(self):
+        tree = FatTreeFabric(nodes_per_leaf=4)
+        assert tree.leaf_of(0) == 0
+        assert tree.leaf_of(3) == 0
+        assert tree.leaf_of(4) == 1
+
+    def test_hop_counts(self):
+        tree = FatTreeFabric(nodes_per_leaf=4)
+        assert tree.switch_hops(0, 0) == 0
+        assert tree.switch_hops(0, 1) == 1  # same leaf
+        assert tree.switch_hops(0, 5) == 3  # via the spine
+
+    def test_path_latency_accumulates_switches(self):
+        tree = FatTreeFabric(nodes_per_leaf=4, switch_latency_us=0.5)
+        intra = tree.path_latency_us(IB_EDR, 0, 1)
+        inter = tree.path_latency_us(IB_EDR, 0, 5)
+        assert inter == pytest.approx(intra + 2 * 0.5)
+        assert tree.path_latency_us(IB_EDR, 2, 2) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FatTreeFabric(nodes_per_leaf=0)
+        with pytest.raises(ValueError):
+            FatTreeFabric(taper=0.0)
+        with pytest.raises(ValueError):
+            FatTreeFabric(taper=1.5)
+        with pytest.raises(ValueError):
+            FatTreeFabric(switch_latency_us=-1)
+
+
+class TestContention:
+    def test_full_bisection_never_contends(self):
+        tree = FatTreeFabric(nodes_per_leaf=4, taper=1.0)
+        for n in (1, 4, 16, 64):
+            assert tree.contention(n) == 1.0
+
+    def test_single_leaf_never_contends(self):
+        tree = FatTreeFabric(nodes_per_leaf=18, taper=0.5)
+        assert tree.contention(18) == 1.0
+
+    def test_tapered_contention_grows_then_saturates(self):
+        tree = FatTreeFabric(nodes_per_leaf=4, taper=0.5)
+        values = [tree.contention(n) for n in (4, 8, 16, 64, 256)]
+        assert values[0] == 1.0
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        # asymptote: all traffic cross-leaf -> 1/taper
+        assert values[-1] < 1.0 / 0.5 + 1e-9
+
+    def test_cross_leaf_fraction(self):
+        tree = FatTreeFabric(nodes_per_leaf=2)
+        assert tree.cross_leaf_fraction(2) == 0.0
+        assert tree.cross_leaf_fraction(4) == pytest.approx(1 - 4 / 12)
+
+    def test_effective_latency_jumps_at_spine(self):
+        tree = FatTreeFabric(nodes_per_leaf=4, switch_latency_us=0.3)
+        assert tree.effective_inter_latency_us(IB_EDR, 4) < tree.effective_inter_latency_us(
+            IB_EDR, 8
+        )
+
+
+class TestSystemIntegration:
+    def test_detailed_lassen_uses_tree(self):
+        system = lassen(detailed_fabric=True)
+        assert system.fabric is not None
+        path = system.comm_path(256)  # 64 nodes, > 3 leaves
+        heuristic = lassen().comm_path(256)
+        # both models agree on the qualitative picture
+        assert path.spans_nodes and heuristic.spans_nodes
+        assert path.alpha_us > IB_EDR.latency_us  # switch hops included
+
+    def test_detailed_contention_kicks_in_across_leaves(self):
+        system = lassen(detailed_fabric=True)
+        one_leaf = system.comm_path(18 * 4)  # 18 nodes = 1 leaf
+        many_leaves = system.comm_path(72 * 4)
+        assert many_leaves.beta_us_per_byte > one_leaf.beta_us_per_byte
+
+    def test_calibrated_figures_unaffected_by_default(self):
+        assert lassen().fabric is None
+
+    def test_detailed_mode_still_runs_training(self):
+        from repro.models import BackendPlan, DSMoEModel, MoEConfig, Trainer
+
+        trainer = Trainer(lassen(detailed_fabric=True), steps=1, warmup=0)
+        result = trainer.run(
+            DSMoEModel(MoEConfig(layers=4, micro_batch=1)), 8, BackendPlan.mixed()
+        )
+        assert result.samples_per_sec > 0

@@ -1,0 +1,95 @@
+"""Property-based tests on the deferred GPU task graph."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Simulator
+
+# A random single-GPU stream program: each instruction launches a kernel
+# on one of three streams, optionally gated on an event recorded earlier.
+instr = st.fixed_dictionaries(
+    {
+        "stream": st.sampled_from(["s0", "s1", "s2"]),
+        "duration": st.floats(1.0, 200.0),
+        "record": st.booleans(),
+        "wait_last_event": st.booleans(),
+        "host_sleep": st.floats(0.0, 20.0),
+    }
+)
+
+
+@given(program=st.lists(instr, min_size=1, max_size=24))
+@settings(max_examples=50, deadline=None)
+def test_random_stream_programs_resolve_consistently(program):
+    def main(ctx):
+        nodes = []
+        last_event = None
+        for step in program:
+            if step["host_sleep"]:
+                ctx.sleep(step["host_sleep"])
+            stream = ctx.stream(step["stream"])
+            if step["wait_last_event"] and last_event is not None:
+                stream.wait_event(last_event)
+            node = ctx.launch(step["duration"], stream=stream, label="k")
+            nodes.append((node, step))
+            if step["record"]:
+                last_event = ctx.record_event(stream)
+        ctx.device_synchronize()
+        return [(n.start, n.end) for n, _ in nodes]
+
+    results = Simulator(1).run(main).rank_results[0]
+
+    # every node resolved with end = start + duration and start >= 0
+    for (start, end), step in zip(results, program):
+        assert start is not None and end is not None
+        assert end == pytest.approx(start + step["duration"])
+        assert start >= 0
+
+    # FIFO per stream: starts are non-decreasing along each stream
+    per_stream: dict = {}
+    for (start, end), step in zip(results, program):
+        per_stream.setdefault(step["stream"], []).append((start, end))
+    for spans in per_stream.values():
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert s2 >= e1  # strict serialization within a stream
+
+
+@given(program=st.lists(instr, min_size=1, max_size=16))
+@settings(max_examples=30, deadline=None)
+def test_random_stream_programs_deterministic(program):
+    def main(ctx):
+        for step in program:
+            stream = ctx.stream(step["stream"])
+            ctx.launch(step["duration"], stream=stream)
+            if step["host_sleep"]:
+                ctx.sleep(step["host_sleep"])
+        ctx.device_synchronize()
+        return ctx.now
+
+    assert Simulator(1).run(main).rank_results == Simulator(1).run(main).rank_results
+
+
+@given(
+    durations=st.lists(st.floats(1.0, 100.0), min_size=2, max_size=10),
+)
+@settings(max_examples=30, deadline=None)
+def test_event_gating_transitive(durations):
+    """A chain of cross-stream event waits is a happens-before chain:
+    every kernel starts after its predecessor ends."""
+
+    def main(ctx):
+        spans = []
+        event = None
+        for i, duration in enumerate(durations):
+            stream = ctx.stream(f"s{i % 4}")
+            if event is not None:
+                stream.wait_event(event)
+            node = ctx.launch(duration, stream=stream)
+            event = ctx.record_event(stream)
+            spans.append(node)
+        ctx.device_synchronize()
+        return [(n.start, n.end) for n in spans]
+
+    spans = Simulator(1).run(main).rank_results[0]
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert s2 >= e1

@@ -1,0 +1,113 @@
+"""Communication logging extension (paper §V-E; feeds Figs. 1 and 12)."""
+
+import pytest
+
+from repro.core import MCRCommunicator, MCRConfig
+from repro.sim import Simulator
+
+
+def run_logged(fn, world=2):
+    def main(ctx):
+        comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"], config=MCRConfig(enable_logging=True))
+        fn(ctx, comm)
+        comm.finalize()
+
+    res = Simulator(world).run(main)
+    return res.shared["comm_logger"]
+
+
+class TestRecording:
+    def test_every_rank_logs_each_collective(self):
+        logger = run_logged(
+            lambda ctx, comm: comm.all_reduce("nccl", ctx.zeros(64)), world=3
+        )
+        recs = [r for r in logger.records if r.family == "allreduce"]
+        assert len(recs) == 3
+        assert {r.rank for r in recs} == {0, 1, 2}
+
+    def test_record_fields(self):
+        logger = run_logged(lambda ctx, comm: comm.all_reduce("nccl", ctx.zeros(64)))
+        rec = logger.records[0]
+        assert rec.backend == "nccl"
+        assert rec.nbytes == 256
+        assert rec.end > rec.start
+        assert rec.duration > 0
+
+    def test_duration_is_transfer_not_queueing(self):
+        """A late-posted op's record must not include its wait for peers."""
+
+        def fn(ctx, comm):
+            ctx.sleep(ctx.rank * 10_000.0)
+            comm.all_reduce("mvapich2-gdr", ctx.virtual_tensor(1024))
+
+        logger = run_logged(fn)
+        for rec in logger.records:
+            if rec.family == "allreduce":
+                assert rec.duration < 1_000.0
+
+    def test_p2p_logged_for_both_endpoints(self):
+        def fn(ctx, comm):
+            if ctx.rank == 0:
+                comm.send("nccl", ctx.zeros(8), dst=1)
+            else:
+                comm.recv("nccl", ctx.zeros(8), src=0)
+
+        logger = run_logged(fn)
+        p2p = [r for r in logger.records if r.family == "p2p"]
+        assert {r.rank for r in p2p} == {0, 1}
+
+    def test_async_ops_logged_on_completion(self):
+        def fn(ctx, comm):
+            h = comm.all_reduce("nccl", ctx.zeros(64), async_op=True)
+            h.synchronize()
+
+        logger = run_logged(fn)
+        assert any(r.async_op for r in logger.records)
+
+
+class TestAggregation:
+    def make_logger(self):
+        def fn(ctx, comm):
+            comm.all_reduce("nccl", ctx.virtual_tensor(1 << 18))
+            comm.all_to_all_single(
+                "mvapich2-gdr", ctx.virtual_tensor(1 << 18), ctx.virtual_tensor(1 << 18)
+            )
+            comm.all_to_all_single(
+                "mvapich2-gdr", ctx.virtual_tensor(1 << 18), ctx.virtual_tensor(1 << 18)
+            )
+
+        return run_logged(fn, world=4)
+
+    def test_totals_by_family(self):
+        logger = self.make_logger()
+        totals = logger.total_time_by_family()
+        assert set(totals) >= {"allreduce", "alltoall"}
+        assert all(v > 0 for v in totals.values())
+        # the two alltoalls cost roughly twice one of them
+        a2a = [r.duration for r in logger.records if r.family == "alltoall" and r.rank == 0]
+        assert len(a2a) == 2
+        assert totals["alltoall"] == pytest.approx(sum(a2a))
+
+    def test_totals_by_backend(self):
+        totals = self.make_logger().total_time_by_backend()
+        assert set(totals) >= {"nccl", "mvapich2-gdr"}
+
+    def test_per_rank_filter(self):
+        logger = self.make_logger()
+        rank0 = logger.total_time_by_family(rank=0)
+        avg = logger.total_time_by_family()
+        assert rank0.keys() == avg.keys()
+
+    def test_op_counts(self):
+        counts = self.make_logger().op_counts()
+        assert counts["alltoall"] == 2 * 4  # 2 ops x 4 ranks
+        assert counts["allreduce"] == 4
+
+    def test_bytes_by_family(self):
+        by_bytes = self.make_logger().bytes_by_family()
+        assert by_bytes["alltoall"] == 2 * 4 * (1 << 20)
+
+    def test_clear(self):
+        logger = self.make_logger()
+        logger.clear()
+        assert logger.records == []

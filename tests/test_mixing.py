@@ -1,0 +1,215 @@
+"""Mixed-backend communication (paper §V-D, contribution C2).
+
+Deadlock-freedom under cross-backend ordering mismatches, the two MPI
+stream-handling modes, the footnote-4 mixing guidance, and validation
+of mismatched collective arguments at the rendezvous.
+"""
+
+import pytest
+
+from repro.core import (
+    ConfigurationError,
+    MCRCommunicator,
+    MCRConfig,
+    ValidationError,
+)
+from repro.sim import DeadlockError, Simulator
+
+
+def misordered(ctx, config):
+    """Rank parity determines cross-backend posting order (Listing 4
+    gone wrong — the pattern MCR-DL must survive)."""
+    comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"], config=config)
+    x = ctx.virtual_tensor(1 << 18)
+    y = ctx.virtual_tensor(1 << 18)
+    if ctx.rank % 2 == 0:
+        comm.all_reduce("nccl", x)
+        comm.all_reduce("mvapich2-gdr", y)
+    else:
+        comm.all_reduce("mvapich2-gdr", y)
+        comm.all_reduce("nccl", x)
+    comm.finalize()
+    return ctx.now
+
+
+class TestDeadlockFreedom:
+    def test_mcr_dl_survives_misordered_backends(self):
+        res = Simulator(2).run(misordered, MCRConfig())
+        assert res.elapsed_us > 0
+
+    def test_naive_scheme_deadlocks(self):
+        with pytest.raises(DeadlockError):
+            Simulator(2).run(misordered, MCRConfig(synchronization="naive"))
+
+    def test_mcr_dl_async_listing4(self):
+        """Listing 4 verbatim: two async allreduces on different backends."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"])
+            x = ctx.virtual_tensor(1 << 20)
+            y = ctx.virtual_tensor(1 << 20)
+            h1 = comm.all_reduce("nccl", x, async_op=True)
+            h2 = comm.all_reduce("mvapich2-gdr", y, async_op=True)
+            ctx.launch(100.0, label="z+z")
+            h1.wait()
+            h2.wait()
+            comm.finalize()
+
+        Simulator(4).run(main)  # must not deadlock
+
+    def test_mismatched_participation_deadlocks(self):
+        """One rank skips a collective: a real hang, reported as such."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"])
+            if ctx.rank != 1:
+                comm.all_reduce("mvapich2-gdr", ctx.zeros(4))
+            comm.finalize()
+
+        with pytest.raises(DeadlockError):
+            Simulator(3).run(main)
+
+    def test_cross_backend_overlap_achieved(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"])
+            h1 = comm.all_reduce("nccl", ctx.virtual_tensor(1 << 22), async_op=True)
+            h2 = comm.all_reduce("mvapich2-gdr", ctx.virtual_tensor(1 << 22), async_op=True)
+            h1.synchronize()
+            h2.synchronize()
+            comm.finalize()
+
+        res = Simulator(4, trace=True).run(main)
+        nccl = res.tracer.filter(rank=0, label_contains="nccl")
+        mpi = res.tracer.filter(rank=0, label_contains="mvapich")
+        assert res.tracer.overlap_time(nccl, mpi) > 0
+
+
+class TestRendezvousValidation:
+    def test_mismatched_sizes_raise(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            size = 4 if ctx.rank == 0 else 8
+            comm.all_reduce("nccl", ctx.zeros(size))
+            comm.finalize()
+
+        with pytest.raises(ValidationError, match="mismatch"):
+            Simulator(2).run(main)
+
+    def test_mismatched_ops_raise(self):
+        from repro.core import ReduceOp
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            op = ReduceOp.SUM if ctx.rank == 0 else ReduceOp.MAX
+            comm.all_reduce("nccl", ctx.zeros(4), op=op)
+            comm.finalize()
+
+        with pytest.raises(ValidationError):
+            Simulator(2).run(main)
+
+    def test_mismatched_collective_types_raise(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            if ctx.rank == 0:
+                comm.all_reduce("nccl", ctx.zeros(4))
+            else:
+                comm.bcast("nccl", ctx.zeros(4))
+            comm.finalize()
+
+        with pytest.raises(ValidationError):
+            Simulator(2).run(main)
+
+
+class TestMpiStreamModes:
+    def test_mcr_managed_overlaps_compute(self):
+        """Option 2 (§V-D): intercepted streams keep the host free."""
+
+        def main(ctx, mode):
+            config = MCRConfig(mpi_stream_mode=mode)
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"], config=config)
+            ctx.launch(2000.0, label="producer")  # pending default-stream work
+            t0 = ctx.now
+            comm.all_reduce("mvapich2-gdr", ctx.virtual_tensor(1 << 20), async_op=True)
+            post_block = ctx.now - t0
+            comm.synchronize()
+            comm.finalize()
+            return post_block
+
+        managed = Simulator(2).run(main, "mcr-managed").rank_results[0]
+        mpi_owned = Simulator(2).run(main, "mpi-managed").rank_results[0]
+        # mpi-managed synchronizes the default stream before posting
+        # (host blocks for the producer); mcr-managed does not
+        assert managed < 100.0
+        assert mpi_owned >= 2000.0
+
+    def test_mcr_managed_rejected_for_multistream_mpi(self):
+        def main(ctx):
+            config = MCRConfig(
+                mpi_stream_mode="mcr-managed", mpi_internal_multistream=True
+            )
+            MCRCommunicator(ctx, ["mvapich2-gdr"], config=config)
+
+        with pytest.raises(ConfigurationError, match="multi-stream"):
+            Simulator(2).run(main)
+
+    def test_mpi_managed_allowed_for_multistream_mpi(self):
+        def main(ctx):
+            config = MCRConfig(
+                mpi_stream_mode="mpi-managed", mpi_internal_multistream=True
+            )
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"], config=config)
+            comm.all_reduce("mvapich2-gdr", ctx.zeros(4))
+            comm.finalize()
+
+        Simulator(2).run(main)
+
+
+class TestMixingGuidance:
+    def test_two_host_backends_flagged(self):
+        """Footnote 4: at most one non-stream-aware backend is optimal."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr", "openmpi"])
+            warning = comm.mixing_warning
+            comm.finalize()
+            return warning
+
+        res = Simulator(2).run(main)
+        assert "non-stream-aware" in res.rank_results[0]
+
+    def test_stream_aware_pair_not_flagged(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "msccl"])
+            warning = comm.mixing_warning
+            comm.finalize()
+            return warning
+
+        assert Simulator(2).run(main).rank_results[0] is None
+
+    def test_three_backend_mix_works(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "msccl", "mvapich2-gdr"])
+            comm.all_reduce("msccl", ctx.zeros(8))
+            comm.all_reduce("nccl", ctx.zeros(8))
+            comm.all_to_all_single("mvapich2-gdr", ctx.zeros(8), ctx.zeros(8))
+            comm.finalize()
+
+        Simulator(4).run(main)
+
+    def test_duplicate_backends_rejected(self):
+        from repro.core import BackendError
+
+        def main(ctx):
+            MCRCommunicator(ctx, ["nccl", "nccl"])
+
+        with pytest.raises(BackendError, match="duplicate"):
+            Simulator(1).run(main)
+
+    def test_alias_resolution_in_mix(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "mv2-gdr"])
+            names = comm.get_backends()
+            comm.finalize()
+            return names
+
+        assert Simulator(1).run(main).rank_results[0] == ["nccl", "mvapich2-gdr"]

@@ -1,0 +1,258 @@
+"""Workload models and the training harness."""
+
+import pytest
+
+from repro.cluster import lassen, thetagpu
+from repro.models import (
+    BackendPlan,
+    CommDriver,
+    DLRMConfig,
+    DLRMModel,
+    DSMoEModel,
+    MegatronConfig,
+    MegatronDenseModel,
+    MoEConfig,
+    PROFILES,
+    ResNet50Model,
+    ResNetConfig,
+    Trainer,
+)
+from repro.models.common import MLPSpec, chunk_bytes, even_counts, gemm_us, skewed_counts
+from repro.models.trainer import scaling_efficiency
+from repro.sim import Simulator
+
+
+class TestCommonMath:
+    def test_mlp_params(self):
+        mlp = MLPSpec((4, 8, 2))
+        assert mlp.params() == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_mlp_flops(self):
+        mlp = MLPSpec((4, 8))
+        assert mlp.forward_flops(10) == 2 * 10 * 32
+        assert mlp.backward_flops(10) == 2 * mlp.forward_flops(10)
+
+    def test_gemm_time_positive_and_scaled(self):
+        from repro.cluster import V100, A100
+
+        assert gemm_us(A100, 1e12) < gemm_us(V100, 1e12)
+
+    def test_chunk_bytes(self):
+        assert chunk_bytes(100, 30) == [30, 30, 30, 10]
+        assert chunk_bytes(60, 30) == [30, 30]
+        assert chunk_bytes(0, 30) == []
+
+    def test_even_counts(self):
+        assert even_counts(10, 3) == [4, 3, 3]
+        assert sum(even_counts(17, 5)) == 17
+
+    def test_skewed_counts_conserve_total(self):
+        counts = skewed_counts(1000, 4, 0.5, [0.1, 0.9, 0.4, 0.7])
+        assert sum(counts) == 1000
+        assert max(counts) > min(counts)
+
+    def test_skew_zero_is_even(self):
+        counts = skewed_counts(100, 4, 0.0, [0.1, 0.9, 0.4, 0.7])
+        assert max(counts) - min(counts) <= 1
+
+    def test_skew_out_of_range(self):
+        with pytest.raises(ValueError):
+            skewed_counts(100, 4, 1.5, [0.5] * 4)
+
+
+class TestConfigs:
+    def test_moe_defaults_match_paper(self):
+        cfg = MoEConfig()
+        assert cfg.hidden == 1024 and cfg.layers == 24  # 350M base
+        assert cfg.moe_layers == 12  # PR-MoE: half the layers
+
+    def test_moe_sizes(self):
+        cfg = MoEConfig()
+        # 350M base -> ~600 MB of fp16 dense grads
+        assert 500e6 < cfg.dense_param_bytes() < 700e6
+        assert cfg.alltoall_bytes() > 0
+
+    def test_moe_invalid(self):
+        with pytest.raises(ValueError):
+            MoEConfig(hidden=0)
+
+    def test_dlrm_defaults_match_paper(self):
+        cfg = DLRMConfig()
+        assert cfg.bottom_mlp[1:] == (512, 512, 64)
+        assert cfg.top_mlp[1:] == (1024, 1024, 1024, 1)
+        assert cfg.embedding_rows_per_rank == 1_000_000
+
+    def test_megatron_defaults_match_paper(self):
+        cfg = MegatronConfig()
+        assert cfg.tensor_parallel == 2  # TP degree 2
+        # 6.7B params
+        assert 6e9 < cfg.params() < 7.5e9
+
+    def test_resnet_config(self):
+        assert ResNetConfig().params == 25_600_000
+
+
+class TestBackendPlan:
+    def test_pure(self):
+        plan = BackendPlan.pure("nccl")
+        assert plan.backend_for("allreduce") == "nccl"
+        assert plan.backends() == ["nccl"]
+
+    def test_mixed(self):
+        plan = BackendPlan.mixed()
+        assert plan.backend_for("allreduce") == "nccl"
+        assert plan.backend_for("alltoall") == "mvapich2-gdr"
+        assert set(plan.backends()) == {"nccl", "mvapich2-gdr"}
+
+    def test_tuned(self):
+        from repro.core import TuningTable
+
+        table = TuningTable()
+        table.add("allreduce", 4, 1024, "nccl")
+        table.add("alltoall", 4, 1024, "mvapich2-gdr")
+        plan = BackendPlan.tuned(table)
+        assert plan.default == "auto"
+        assert set(plan.backends()) == {"nccl", "mvapich2-gdr"}
+
+    def test_tuned_empty_table_rejected(self):
+        from repro.core import TuningTable
+
+        with pytest.raises(ValueError):
+            BackendPlan.tuned(TuningTable()).backends()
+
+
+@pytest.mark.parametrize(
+    "model,system",
+    [
+        (DSMoEModel(MoEConfig(layers=4, micro_batch=1)), lassen(max_nodes=8)),
+        (DLRMModel(DLRMConfig(batch_size=256)), thetagpu()),
+        (ResNet50Model(ResNetConfig(local_batch=8)), lassen(max_nodes=8)),
+        (MegatronDenseModel(MegatronConfig(layers=4)), thetagpu()),
+    ],
+    ids=["moe", "dlrm", "resnet", "megatron"],
+)
+class TestModelsRun:
+    def test_step_runs_and_times_sane(self, model, system):
+        trainer = Trainer(system, steps=2, warmup=1)
+        result = trainer.run(model, 4, BackendPlan.mixed())
+        assert result.step_time_us > 0
+        assert result.samples_per_sec > 0
+        assert result.model == model.name
+
+    def test_comm_log_populated(self, model, system):
+        trainer = Trainer(system, steps=1, warmup=0)
+        result = trainer.run(model, 4, BackendPlan.pure("nccl", "NCCL"))
+        assert result.comm_by_family
+        assert all(v >= 0 for v in result.comm_by_family.values())
+
+
+class TestTrainerSemantics:
+    def test_throughput_scales_with_step_time(self):
+        model = ResNet50Model(ResNetConfig(local_batch=8))
+        trainer = Trainer(lassen(max_nodes=4), steps=2, warmup=0)
+        r = trainer.run(model, 4, BackendPlan.pure("nccl"))
+        expected = model.samples_per_step(4) / (r.step_time_us / 1e6)
+        assert r.samples_per_sec == pytest.approx(expected)
+
+    def test_scaling_efficiency_base_is_one(self):
+        model = ResNet50Model(ResNetConfig(local_batch=8))
+        trainer = Trainer(lassen(max_nodes=8), steps=1, warmup=0)
+        results = [
+            trainer.run(model, ws, BackendPlan.pure("nccl")) for ws in (2, 4)
+        ]
+        eff = scaling_efficiency(results)
+        assert eff[2] == pytest.approx(1.0)
+        assert 0 < eff[4] <= 1.05
+
+    def test_trace_breakdown_available(self):
+        model = ResNet50Model(ResNetConfig(local_batch=8))
+        trainer = Trainer(lassen(max_nodes=4), steps=1, warmup=0, trace=True)
+        r = trainer.run(model, 4, BackendPlan.pure("nccl"))
+        assert "compute" in r.busy_by_category
+        assert "comm" in r.busy_by_category
+        assert 0 <= r.comm_fraction <= 1
+
+    def test_steps_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Trainer(lassen(), steps=0)
+
+
+class TestModelCommunicationShape:
+    def test_moe_issues_alltoall_and_allreduce(self):
+        trainer = Trainer(lassen(max_nodes=4), steps=1, warmup=0)
+        r = trainer.run(
+            DSMoEModel(MoEConfig(layers=4, micro_batch=1)), 4, BackendPlan.mixed()
+        )
+        assert "alltoall" in r.comm_by_family
+        assert "allreduce" in r.comm_by_family
+
+    def test_moe_gating_skew_uses_alltoallv(self):
+        trainer = Trainer(lassen(max_nodes=4), steps=1, warmup=0)
+        r = trainer.run(
+            DSMoEModel(MoEConfig(layers=2, micro_batch=1, gating_skew=0.5)),
+            4,
+            BackendPlan.mixed(),
+        )
+        assert "alltoall" in r.comm_by_family
+
+    def test_megatron_issues_reduce_scatter_and_allgather(self):
+        """ZeRO-2's signature collectives."""
+        trainer = Trainer(thetagpu(), steps=1, warmup=0)
+        r = trainer.run(
+            MegatronDenseModel(MegatronConfig(layers=2)), 4, BackendPlan.mixed()
+        )
+        assert "reduce_scatter" in r.comm_by_family
+        assert "allgather" in r.comm_by_family
+
+    def test_resnet_is_allreduce_only(self):
+        trainer = Trainer(lassen(max_nodes=4), steps=1, warmup=0)
+        r = trainer.run(
+            ResNet50Model(ResNetConfig(local_batch=8)), 4, BackendPlan.pure("nccl")
+        )
+        comm_ops = {k for k, v in r.comm_by_family.items() if v > 0 and k != "barrier"}
+        assert comm_ops == {"allreduce"}
+
+    def test_resnet_compute_dominated(self):
+        """Fig. 1(a): data parallelism is strongly compute-dominated."""
+        trainer = Trainer(lassen(max_nodes=16), steps=1, warmup=0, trace=True)
+        r = trainer.run(ResNet50Model(), 16, BackendPlan.pure("nccl"))
+        assert r.comm_fraction < 0.35
+
+    def test_single_backend_framework_collapses_plan(self):
+        """PyTorch-dist can't mix: the plan collapses to one backend."""
+
+        def main(ctx):
+            driver = CommDriver(
+                ctx, BackendPlan.mixed(), profile=PROFILES["torch-distributed"]
+            )
+            names = list(driver.comm.backends)
+            driver.finalize()
+            return names
+
+        assert Simulator(2).run(main).rank_results[0] == ["nccl"]
+
+
+class TestDLRMSyntheticData:
+    def test_real_indices_path_runs_and_costs_more(self):
+        from repro.cluster import thetagpu
+        from repro.models.dlrm import DLRMConfig
+
+        trainer = Trainer(thetagpu(), steps=2, warmup=1)
+        balanced = trainer.run(
+            DLRMModel(DLRMConfig(batch_size=512)), 4, BackendPlan.mixed()
+        )
+        skewed = trainer.run(
+            DLRMModel(DLRMConfig(batch_size=512, synthetic_data=True)),
+            4,
+            BackendPlan.mixed(),
+        )
+        # the imbalanced vectored exchange + metadata round is never faster
+        assert skewed.step_time_us >= balanced.step_time_us * 0.99
+        assert skewed.comm_by_family.get("alltoall", 0) > 0
+
+    def test_zipf_config_validated(self):
+        from repro.models.data import zipfian_indices
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            zipfian_indices(np.random.default_rng(0), 100, 10, exponent=-1)

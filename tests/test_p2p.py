@@ -1,0 +1,148 @@
+"""Point-to-point send/recv: matching, tags, async, timing, errors."""
+
+import numpy as np
+import pytest
+
+from repro.core import MCRCommunicator, ValidationError
+from repro.sim import DeadlockError, Simulator
+
+BACKENDS = ["nccl", "mvapich2-gdr"]
+
+
+def spmd(world_size, fn):
+    def main(ctx):
+        comm = MCRCommunicator(ctx, BACKENDS)
+        out = fn(ctx, comm)
+        comm.finalize()
+        return out
+
+    return Simulator(world_size).run(main).rank_results
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSendRecv:
+    def test_blocking_pair(self, backend):
+        def fn(ctx, comm):
+            if ctx.rank == 0:
+                comm.send(backend, ctx.arange(8), dst=1)
+                return None
+            buf = ctx.zeros(8)
+            comm.recv(backend, buf, src=0)
+            return buf.data.copy()
+
+        results = spmd(2, fn)
+        assert np.array_equal(results[1], np.arange(8))
+
+    def test_ring_pattern(self, backend):
+        def fn(ctx, comm):
+            right = (ctx.rank + 1) % ctx.world_size
+            left = (ctx.rank - 1) % ctx.world_size
+            buf = ctx.zeros(1)
+            h = comm.irecv(backend, buf, src=left)
+            comm.send(backend, ctx.full(1, float(ctx.rank)), dst=right)
+            h.synchronize()
+            return float(buf.data[0])
+
+        results = spmd(4, fn)
+        assert results == [3.0, 0.0, 1.0, 2.0]
+
+    def test_isend_irecv(self, backend):
+        def fn(ctx, comm):
+            if ctx.rank == 0:
+                h = comm.isend(backend, ctx.full(4, 9.0), dst=1)
+                h.synchronize()
+                return None
+            buf = ctx.zeros(4)
+            h = comm.irecv(backend, buf, src=0)
+            h.synchronize()
+            return float(buf.data[0])
+
+        assert spmd(2, fn)[1] == 9.0
+
+    def test_transfer_takes_time(self, backend):
+        def fn(ctx, comm):
+            start = ctx.now
+            if ctx.rank == 0:
+                comm.send(backend, ctx.zeros(1 << 20), dst=1)
+            else:
+                buf = ctx.zeros(1 << 20)
+                comm.recv(backend, buf, src=0)
+            return ctx.now - start
+
+        elapsed = spmd(2, fn)
+        assert min(elapsed) > 10.0  # 4 MiB cannot be free
+
+
+class TestTagsAndOrdering:
+    def test_fifo_matching_same_tag(self):
+        def fn(ctx, comm):
+            if ctx.rank == 0:
+                comm.send("nccl", ctx.full(1, 1.0), dst=1)
+                comm.send("nccl", ctx.full(1, 2.0), dst=1)
+                return None
+            a, b = ctx.zeros(1), ctx.zeros(1)
+            comm.recv("nccl", a, src=0)
+            comm.recv("nccl", b, src=0)
+            return (float(a.data[0]), float(b.data[0]))
+
+        assert spmd(2, fn)[1] == (1.0, 2.0)
+
+    def test_tags_demultiplex(self):
+        def fn(ctx, comm):
+            if ctx.rank == 0:
+                comm.send("nccl", ctx.full(1, 1.0), dst=1, tag=7)
+                comm.send("nccl", ctx.full(1, 2.0), dst=1, tag=9)
+                return None
+            b, a = ctx.zeros(1), ctx.zeros(1)
+            comm.recv("nccl", b, src=0, tag=9)  # out of send order
+            comm.recv("nccl", a, src=0, tag=7)
+            return (float(a.data[0]), float(b.data[0]))
+
+        assert spmd(2, fn)[1] == (1.0, 2.0)
+
+    def test_backends_have_separate_channels(self):
+        def fn(ctx, comm):
+            if ctx.rank == 0:
+                comm.send("nccl", ctx.full(1, 1.0), dst=1)
+                comm.send("mvapich2-gdr", ctx.full(1, 2.0), dst=1)
+                return None
+            m, n = ctx.zeros(1), ctx.zeros(1)
+            comm.recv("mvapich2-gdr", m, src=0)
+            comm.recv("nccl", n, src=0)
+            return (float(n.data[0]), float(m.data[0]))
+
+        assert spmd(2, fn)[1] == (1.0, 2.0)
+
+
+class TestP2PErrors:
+    def test_self_send_rejected(self):
+        def fn(ctx, comm):
+            comm.send("nccl", ctx.zeros(1), dst=ctx.rank)
+
+        with pytest.raises(ValidationError):
+            spmd(2, fn)
+
+    def test_peer_out_of_range(self):
+        def fn(ctx, comm):
+            comm.send("nccl", ctx.zeros(1), dst=99)
+
+        with pytest.raises(ValidationError):
+            spmd(2, fn)
+
+    def test_size_mismatch_detected(self):
+        def fn(ctx, comm):
+            if ctx.rank == 0:
+                comm.send("nccl", ctx.zeros(4), dst=1)
+            else:
+                comm.recv("nccl", ctx.zeros(8), src=0)
+
+        with pytest.raises(ValidationError, match="size mismatch"):
+            spmd(2, fn)
+
+    def test_unmatched_recv_deadlocks(self):
+        def fn(ctx, comm):
+            if ctx.rank == 1:
+                comm.recv("nccl", ctx.zeros(1), src=0)  # nobody sends
+
+        with pytest.raises(DeadlockError):
+            spmd(2, fn)

@@ -1,0 +1,124 @@
+"""Persistent collectives (ext.persistent, paper §V-E future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import MCRCommunicator, MCRError
+from repro.ext.persistent import PersistentCollective
+from repro.sim import Simulator
+
+
+class TestSemantics:
+    def test_repeated_starts_correct_data(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            x = ctx.full(8, 1.0)
+            op = PersistentCollective(comm, "all_reduce", "nccl", x)
+            values = []
+            for _ in range(3):
+                x.fill_(1.0)
+                h = op.start()
+                h.synchronize()
+                values.append(float(x.data[0]))
+            comm.finalize()
+            return values
+
+        results = Simulator(2).run(main).rank_results
+        assert results[0] == [2.0, 2.0, 2.0]
+
+    def test_start_counter(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            op = PersistentCollective(comm, "all_reduce", "nccl", ctx.zeros(4))
+            for _ in range(5):
+                op.start().synchronize()
+            comm.finalize()
+            return op.starts
+
+        assert Simulator(2).run(main).rank_results[0] == 5
+
+    def test_vectored_persistent(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"])
+            p = ctx.world_size
+            out = ctx.zeros(p)
+            inp = ctx.full(1, float(ctx.rank))
+            op = PersistentCollective(
+                comm, "all_gatherv", "mvapich2-gdr", out, inp, rcounts=[1] * p
+            )
+            op.start().synchronize()
+            comm.finalize()
+            return out.data.copy()
+
+        results = Simulator(3).run(main).rank_results
+        assert np.array_equal(results[0], [0, 1, 2])
+
+    def test_unknown_op_rejected(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            PersistentCollective(comm, "barrier", "nccl")
+
+        with pytest.raises(MCRError, match="persistent"):
+            Simulator(1).run(main)
+
+    def test_bad_backend_fails_at_init(self):
+        from repro.core import BackendError
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            PersistentCollective(comm, "all_reduce", "gloo", ctx.zeros(4))
+
+        with pytest.raises(BackendError):
+            Simulator(1).run(main)
+
+    def test_async_kwarg_rejected(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            PersistentCollective(comm, "all_reduce", "nccl", ctx.zeros(4), async_op=True)
+
+        with pytest.raises(MCRError, match="always started async"):
+            Simulator(1).run(main)
+
+
+class TestPerformance:
+    def test_persistent_cheaper_than_regular(self):
+        n_ops = 32
+
+        def run(persistent: bool):
+            def main(ctx):
+                comm = MCRCommunicator(ctx, ["nccl"])
+                x = ctx.zeros(64)
+                if persistent:
+                    op = PersistentCollective(comm, "all_reduce", "nccl", x)
+                    handles = [op.start() for _ in range(n_ops)]
+                else:
+                    handles = [
+                        comm.all_reduce("nccl", x, async_op=True) for _ in range(n_ops)
+                    ]
+                for h in handles:
+                    h.synchronize()
+                comm.finalize()
+                return ctx.now
+
+            return max(Simulator(2).run(main).rank_results)
+
+        assert run(True) < run(False)
+
+    def test_discount_does_not_leak(self):
+        """After start(), regular ops pay the full dispatch cost again."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            op = PersistentCollective(comm, "all_reduce", "nccl", ctx.zeros(4))
+            op.start().synchronize()
+            t0 = ctx.now
+            comm.all_reduce("nccl", ctx.zeros(4), async_op=True).synchronize()
+            full_cost = ctx.now - t0
+            t1 = ctx.now
+            op.start().synchronize()
+            persistent_cost = ctx.now - t1
+            comm.finalize()
+            return full_cost, persistent_cost
+
+        full, persistent = Simulator(2).run(main).rank_results[0]
+        assert persistent < full

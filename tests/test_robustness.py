@@ -1,0 +1,142 @@
+"""Failure injection and lifecycle robustness."""
+
+import pytest
+
+from repro.core import MCRCommunicator, MCRError, ValidationError
+from repro.sim import DeadlockError, Simulator
+
+
+class TestRankFailures:
+    def test_exception_mid_collective_unwinds_peers(self):
+        """A rank dying while others wait in a collective must abort the
+        whole job with the original error, not hang."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"])
+            if ctx.rank == 1:
+                raise RuntimeError("rank 1 crashed")
+            comm.all_reduce("mvapich2-gdr", ctx.zeros(4))  # waits forever
+            comm.finalize()
+
+        with pytest.raises(RuntimeError, match="rank 1 crashed"):
+            Simulator(3).run(main)
+
+    def test_exception_after_async_post(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            comm.all_reduce("nccl", ctx.zeros(4), async_op=True)
+            if ctx.rank == 0:
+                raise ValueError("boom")
+            comm.finalize()
+
+        with pytest.raises(ValueError, match="boom"):
+            Simulator(2).run(main)
+
+    def test_partial_exit_with_dangling_collective_detected(self):
+        """A rank that returns without matching a peer's collective is a
+        hang; the implicit device-join surfaces it as a deadlock."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            if ctx.rank == 0:
+                comm.all_reduce("nccl", ctx.zeros(4), async_op=True)
+            # rank 1 never participates and both exit
+
+        with pytest.raises(DeadlockError):
+            Simulator(2).run(main)
+
+
+class TestLifecycle:
+    def test_use_after_finalize_rejected(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            comm.finalize()
+            comm.all_reduce("nccl", ctx.zeros(4))
+
+        with pytest.raises(MCRError, match="finalized"):
+            Simulator(2).run(main)
+
+    def test_double_finalize_is_idempotent(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            comm.finalize()
+            comm.finalize()
+            return True
+
+        assert all(Simulator(2).run(main).rank_results)
+
+    def test_finalize_drains_outstanding_work(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"])
+            h1 = comm.all_reduce("nccl", ctx.virtual_tensor(1 << 20), async_op=True)
+            h2 = comm.all_reduce("mvapich2-gdr", ctx.virtual_tensor(1 << 20), async_op=True)
+            comm.finalize()
+            return h1.is_completed() and h2.is_completed()
+
+        assert all(Simulator(2).run(main).rank_results)
+
+    def test_unknown_backend_dispatch_rejected(self):
+        from repro.core import BackendError
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            comm.all_reduce("mvapich2-gdr", ctx.zeros(4))
+
+        with pytest.raises(BackendError, match="not initialized"):
+            Simulator(2).run(main)
+
+
+class TestMixedRealVirtual:
+    def test_virtual_and_real_ranks_must_agree(self):
+        """One rank passing a virtual tensor while another passes real
+        data is a program bug; the rendezvous validation catches it."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            t = ctx.virtual_tensor(64) if ctx.rank == 0 else ctx.zeros(64)
+            comm.all_reduce("nccl", t)
+            comm.finalize()
+
+        with pytest.raises(ValidationError):
+            Simulator(2).run(main)
+
+    def test_all_virtual_is_fine(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            comm.all_reduce("nccl", ctx.virtual_tensor(64))
+            comm.finalize()
+            return ctx.now
+
+        assert all(t > 0 for t in Simulator(2).run(main).rank_results)
+
+
+class TestNonContiguousTensors:
+    def test_noncontiguous_input_handled(self):
+        """The runtime makes tensors contiguous before communicating
+        (the data lands in the contiguous copy — as with torch, callers
+        who need the results in-place must pass contiguous tensors)."""
+        import numpy as np
+        from repro.tensor import from_numpy
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"])
+            base = np.zeros((4, 8), dtype=np.float32)
+            strided = from_numpy(base[:, ::2], ctx.device)
+            assert not strided.is_contiguous()
+            comm.all_reduce("mvapich2-gdr", strided)  # must not crash
+            comm.finalize()
+            return True
+
+        assert all(Simulator(2).run(main).rank_results)
+
+
+class TestNonSimTensorRejection:
+    def test_numpy_array_rejected(self):
+        import numpy as np
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            comm.all_reduce("nccl", np.zeros(4))
+
+        with pytest.raises(TypeError, match="SimTensor"):
+            Simulator(1).run(main)

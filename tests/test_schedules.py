@@ -1,0 +1,166 @@
+"""Executable collective schedules: structure, data, and cost validation."""
+
+import numpy as np
+import pytest
+
+from repro.backends import datapath
+from repro.backends.ops import ReduceOp
+from repro.backends.schedules import (
+    binomial_broadcast_schedule,
+    emulated_all_gather,
+    emulated_all_reduce,
+    emulated_broadcast,
+    recursive_doubling_allgather_schedule,
+    ring_allgather_schedule,
+    ring_allreduce_schedule,
+    schedule_stats,
+)
+from repro.core import MCRCommunicator
+from repro.sim import Simulator
+
+
+class TestScheduleStructure:
+    @pytest.mark.parametrize("p", [2, 3, 4, 8])
+    def test_ring_allreduce_round_count(self, p):
+        """The analytic formula charges 2(p-1) rounds — the schedule has
+        exactly that many."""
+        schedule = ring_allreduce_schedule(p)
+        assert schedule_stats(schedule, p)["rounds"] == 2 * (p - 1)
+
+    @pytest.mark.parametrize("p", [2, 5, 8])
+    def test_ring_allgather_round_count(self, p):
+        assert schedule_stats(ring_allgather_schedule(p), p)["rounds"] == p - 1
+
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_recursive_doubling_round_count(self, p):
+        schedule = recursive_doubling_allgather_schedule(p)
+        assert schedule_stats(schedule, p)["rounds"] == int(np.log2(p))
+
+    def test_recursive_doubling_requires_pow2(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            recursive_doubling_allgather_schedule(6)
+
+    @pytest.mark.parametrize("p,expected", [(2, 1), (4, 2), (5, 3), (8, 3)])
+    def test_binomial_broadcast_round_count(self, p, expected):
+        assert schedule_stats(binomial_broadcast_schedule(p), p)["rounds"] == expected
+
+    def test_ring_one_send_per_rank_per_round(self):
+        """Rings are bandwidth-optimal because every rank sends exactly
+        one chunk per round."""
+        stats = schedule_stats(ring_allreduce_schedule(8), 8)
+        assert stats["peak_sends_per_rank_round"] == 1
+
+    def test_trivial_single_rank(self):
+        assert ring_allreduce_schedule(1) == []
+        assert binomial_broadcast_schedule(1) == []
+
+
+def spmd(world, fn):
+    def main(ctx):
+        comm = MCRCommunicator(ctx, ["mvapich2-gdr"])
+        out = fn(ctx, comm)
+        comm.finalize()
+        return out
+
+    return Simulator(world).run(main).rank_results
+
+
+class TestExecutedData:
+    @pytest.mark.parametrize("p", [2, 3, 4, 5])
+    def test_ring_allreduce_matches_collective(self, p):
+        def fn(ctx, comm):
+            buf = (np.arange(p * 4, dtype=np.float32) + ctx.rank * 100).copy()
+            emulated_all_reduce(ctx, comm, "mvapich2-gdr", buf)
+            return buf
+
+        results = spmd(p, fn)
+        expected = sum(
+            np.arange(p * 4, dtype=np.float32) + r * 100 for r in range(p)
+        )
+        for data in results:
+            assert np.allclose(data, expected)
+
+    @pytest.mark.parametrize("op", [ReduceOp.SUM, ReduceOp.MAX])
+    def test_ring_allreduce_ops(self, op):
+        p = 4
+
+        def fn(ctx, comm):
+            rng = np.random.default_rng(ctx.rank)
+            buf = rng.normal(size=p * 2).astype(np.float32)
+            original = buf.copy()
+            emulated_all_reduce(ctx, comm, "mvapich2-gdr", buf, op=op)
+            return original, buf
+
+        results = spmd(p, fn)
+        ins = [orig for orig, _ in results]
+        outs = [np.zeros_like(ins[0]) for _ in range(p)]
+        datapath.all_reduce([a.copy() for a in ins], outs, op)
+        for (_, executed), reference in zip(results, outs):
+            assert np.allclose(executed, reference, rtol=1e-5)
+
+    @pytest.mark.parametrize("p", [2, 4, 6])
+    def test_ring_allgather_matches_collective(self, p):
+        def fn(ctx, comm):
+            buf = np.zeros(p * 3, dtype=np.float32)
+            buf[ctx.rank * 3 : (ctx.rank + 1) * 3] = ctx.rank + 1
+            emulated_all_gather(ctx, comm, "mvapich2-gdr", buf)
+            return buf
+
+        expected = np.repeat(np.arange(1, p + 1, dtype=np.float32), 3)
+        for data in spmd(p, fn):
+            assert np.array_equal(data, expected)
+
+    @pytest.mark.parametrize("p,root", [(2, 0), (4, 2), (5, 4)])
+    def test_binomial_broadcast_matches_collective(self, p, root):
+        def fn(ctx, comm):
+            buf = (
+                np.arange(6, dtype=np.float32)
+                if ctx.rank == root
+                else np.zeros(6, dtype=np.float32)
+            )
+            emulated_broadcast(ctx, comm, "mvapich2-gdr", buf, root=root)
+            return buf
+
+        for data in spmd(p, fn):
+            assert np.array_equal(data, np.arange(6, dtype=np.float32))
+
+
+class TestExecutedCostTracksFormula:
+    def test_emulated_slower_than_native(self):
+        """The paper's §I-A point: Option 1 (collectives from p2p inside
+        the framework) sacrifices the tuned library's performance."""
+        p, numel = 4, 4096
+
+        def fn(ctx, comm):
+            buf = np.ones(numel, dtype=np.float32)
+            t0 = ctx.now
+            emulated_all_reduce(ctx, comm, "mvapich2-gdr", buf)
+            emulated_us = ctx.now - t0
+            x = ctx.tensor(np.ones(numel, dtype=np.float32))
+            t1 = ctx.now
+            comm.all_reduce("mvapich2-gdr", x)
+            native_us = ctx.now - t1
+            return emulated_us, native_us
+
+        results = spmd(p, fn)
+        emulated = max(r[0] for r in results)
+        native = max(r[1] for r in results)
+        assert emulated > native
+
+    def test_executed_time_scales_with_rounds(self):
+        """More ranks -> more ring rounds -> proportionally more time,
+        the structure the alpha term of the formula encodes."""
+
+        def run(p):
+            def fn(ctx, comm):
+                buf = np.ones(64 * 12, dtype=np.float32)  # divisible by 2..8
+                t0 = ctx.now
+                emulated_all_gather(ctx, comm, "mvapich2-gdr", buf)
+                return ctx.now - t0
+
+            return max(spmd(p, fn))
+
+        t2, t4, t8 = run(2), run(4), run(8)
+        assert t2 < t4 < t8
+        # rounds are 1, 3, 7: super-linear in p but sub-linear in 2^p
+        assert t8 / t2 > 2.0

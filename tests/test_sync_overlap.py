@@ -1,0 +1,201 @@
+"""Synchronization semantics (paper §V-C, Fig. 4): naive serialization vs
+MCR-DL's fine-grained CUDA-event scheme; stream pools; overlap."""
+
+import pytest
+
+from repro.core import MCRCommunicator, MCRConfig
+from repro.sim import Simulator
+
+
+def listing3(ctx, config, comm_size=1 << 22):
+    """The paper's Listing 3: allreduce(x) overlapped with y = y + y."""
+    comm = MCRCommunicator(ctx, ["nccl"], config=config)
+    x = ctx.virtual_tensor(comm_size)
+    h = comm.all_reduce("nccl", x, async_op=True)
+    ctx.launch(400.0, label="y=y+y")  # independent of x
+    h.wait()
+    ctx.launch(50.0, label="x+y")  # depends on both
+    comm.finalize()
+    return ctx.now
+
+
+class TestFigure4:
+    def test_fine_grained_overlaps_naive_serializes(self):
+        fine = Simulator(4, trace=True).run(
+            listing3, MCRConfig(synchronization="fine-grained")
+        )
+        naive = Simulator(4, trace=True).run(
+            listing3, MCRConfig(synchronization="naive")
+        )
+        assert fine.elapsed_us < naive.elapsed_us
+
+    def test_fine_grained_compute_comm_overlap_positive(self):
+        res = Simulator(2, trace=True).run(
+            listing3, MCRConfig(synchronization="fine-grained")
+        )
+        comm = res.tracer.filter(rank=0, category="comm")
+        compute = res.tracer.filter(rank=0, label_contains="y=y+y")
+        assert res.tracer.overlap_time(comm, compute) > 0
+
+    def test_naive_has_no_overlap(self):
+        res = Simulator(2, trace=True).run(
+            listing3, MCRConfig(synchronization="naive")
+        )
+        comm = res.tracer.filter(rank=0, category="comm")
+        compute = res.tracer.filter(rank=0, label_contains="y=y+y")
+        assert res.tracer.overlap_time(comm, compute) == pytest.approx(0.0)
+
+    def test_dependent_kernel_ordered_after_comm(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            x = ctx.virtual_tensor(1 << 22)
+            h = comm.all_reduce("nccl", x, async_op=True)
+            h.wait()
+            node = ctx.launch(10.0, label="consumer")
+            ctx.device_synchronize()
+            comm.finalize()
+            return node.start
+
+        res = Simulator(2, trace=True).run(main)
+        comm_end = max(r.end for r in res.tracer.filter(rank=0, category="comm"))
+        assert all(start >= comm_end for start in res.rank_results)
+
+
+class TestStreamPools:
+    def test_small_messages_round_robin(self):
+        def main(ctx):
+            config = MCRConfig(streams_per_backend=3)
+            comm = MCRCommunicator(ctx, ["nccl"], config=config)
+            for _ in range(3):
+                comm.all_reduce("nccl", ctx.zeros(16), async_op=True).wait()
+            comm.finalize()
+            return sorted(
+                name for name in ctx.gpu.streams if name.startswith("nccl:comm")
+            )
+
+        res = Simulator(2).run(main)
+        assert res.rank_results[0] == ["nccl:comm0", "nccl:comm1", "nccl:comm2"]
+
+    def test_large_messages_pinned_to_stream0(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            for _ in range(3):
+                comm.all_reduce("nccl", ctx.virtual_tensor(1 << 20), async_op=True).wait()
+            comm.finalize()
+
+        res = Simulator(2, trace=True).run(main)
+        comm_recs = res.tracer.filter(rank=0, category="comm")
+        assert {r.stream for r in comm_recs} == {"nccl:comm0"}
+
+    def test_concurrent_small_ops_overlap(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            handles = [
+                # just under the large-message threshold: small enough to
+                # round-robin across the pool, big enough to outlast the
+                # host's posting gap
+                comm.all_reduce("nccl", ctx.zeros(16000), async_op=True)
+                for _ in range(4)
+            ]
+            for h in handles:
+                h.synchronize()
+            comm.finalize()
+
+        res = Simulator(8, trace=True).run(main)
+        recs = res.tracer.filter(rank=0, category="comm")
+        assert len(recs) == 4
+        union = res.tracer.busy_time(recs)
+        total = sum(r.duration for r in recs)
+        assert union < total  # at least two ran concurrently
+
+
+class TestHandleSemantics:
+    def test_nccl_wait_does_not_block_host(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            ctx.sleep(ctx.rank * 5000.0)  # rank 1 arrives late
+            x = ctx.virtual_tensor(1 << 22)
+            h = comm.all_reduce("nccl", x, async_op=True)
+            t0 = ctx.now
+            h.wait()
+            host_block = ctx.now - t0
+            comm.finalize()
+            return host_block
+
+        res = Simulator(2).run(main)
+        assert res.rank_results[0] < 1.0  # rank 0 did not wait for rank 1
+
+    def test_mpi_wait_blocks_host(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"])
+            ctx.sleep(ctx.rank * 5000.0)
+            x = ctx.virtual_tensor(1 << 22)
+            h = comm.all_reduce("mvapich2-gdr", x, async_op=True)
+            t0 = ctx.now
+            h.wait()
+            host_block = ctx.now - t0
+            comm.finalize()
+            return host_block
+
+        res = Simulator(2).run(main)
+        assert res.rank_results[0] >= 5000.0  # MPI_Wait until rank 1 arrived
+
+    def test_synchronize_always_blocks(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            x = ctx.virtual_tensor(1 << 22)
+            h = comm.all_reduce("nccl", x, async_op=True)
+            h.synchronize()
+            done = h.is_completed()
+            comm.finalize()
+            return done
+
+        assert all(Simulator(2).run(main).rank_results)
+
+    def test_wait_wrong_backend_rejected(self):
+        from repro.core import MCRError
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"])
+            h = comm.all_reduce("nccl", ctx.zeros(4), async_op=True)
+            h.wait("mvapich2-gdr")
+
+        with pytest.raises(MCRError, match="belongs to backend"):
+            Simulator(2).run(main)
+
+    def test_completion_time_exposed(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr"])
+            h = comm.all_reduce("mvapich2-gdr", ctx.zeros(4), async_op=True)
+            h.synchronize()
+            t = h.completion_time
+            comm.finalize()
+            return t
+
+        res = Simulator(2).run(main)
+        assert res.rank_results[0] is not None and res.rank_results[0] > 0
+
+
+class TestSynchronizeAPI:
+    def test_synchronize_drains_outstanding(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"])
+            h1 = comm.all_reduce("nccl", ctx.virtual_tensor(1 << 20), async_op=True)
+            h2 = comm.all_reduce("mvapich2-gdr", ctx.virtual_tensor(1 << 20), async_op=True)
+            comm.synchronize()
+            ok = h1.is_completed() and h2.is_completed()
+            comm.finalize()
+            return ok
+
+        assert all(Simulator(2).run(main).rank_results)
+
+    def test_synchronize_single_backend(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"])
+            h = comm.all_reduce("nccl", ctx.virtual_tensor(1 << 20), async_op=True)
+            comm.synchronize("nccl")
+            ok = h.is_completed()
+            comm.finalize()
+            return ok
+
+        assert all(Simulator(2).run(main).rank_results)

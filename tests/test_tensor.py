@@ -1,0 +1,208 @@
+"""SimTensor semantics: metadata, movement, virtual tensors."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    SimTensor,
+    Device,
+    arange,
+    empty,
+    from_numpy,
+    full,
+    ones,
+    zeros,
+    float16,
+    float32,
+    float64,
+    int32,
+    int64,
+    uint8,
+)
+from repro.tensor.tensor import cat, virtual, CPU
+
+
+class TestDevice:
+    def test_parse_cpu(self):
+        assert Device.parse("cpu") == Device("cpu")
+
+    def test_parse_cuda_default_index(self):
+        assert Device.parse("cuda") == Device("cuda", 0)
+
+    def test_parse_cuda_index(self):
+        assert Device.parse("cuda:3") == Device("cuda", 3)
+
+    def test_parse_passthrough(self):
+        d = Device("cuda", 2)
+        assert Device.parse(d) is d
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Device.parse("tpu:0")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Device("npu", 0)
+
+    def test_str(self):
+        assert str(Device("cuda", 5)) == "cuda:5"
+        assert str(CPU) == "cpu"
+
+    def test_is_cuda(self):
+        assert Device("cuda", 1).is_cuda
+        assert not CPU.is_cuda
+
+
+class TestFactories:
+    def test_zeros_shape_and_value(self):
+        t = zeros((3, 4))
+        assert t.shape == (3, 4)
+        assert np.all(t.data == 0)
+
+    def test_ones(self):
+        assert np.all(ones(5).data == 1)
+
+    def test_full(self):
+        assert np.all(full(4, 2.5).data == 2.5)
+
+    def test_arange(self):
+        assert np.array_equal(arange(4).data, [0, 1, 2, 3])
+
+    def test_empty_is_deterministic(self):
+        assert np.all(empty(8).data == 0)
+
+    def test_dtype_selection(self):
+        assert zeros(2, dtype=int64).dtype is int64
+        assert zeros(2, dtype=float16).element_size() == 2
+
+    def test_from_numpy_shares_memory(self):
+        a = np.zeros(4, dtype=np.float32)
+        t = from_numpy(a)
+        t.data[0] = 7
+        assert a[0] == 7
+
+    def test_device_placement(self):
+        t = zeros(2, device="cuda:1")
+        assert t.device == Device("cuda", 1)
+        assert t.is_cuda
+
+
+class TestMetadata:
+    def test_numel_element_size_nbytes(self):
+        t = zeros((2, 3), dtype=float64)
+        assert t.numel() == 6
+        assert t.element_size() == 8
+        assert t.nbytes() == 48
+
+    def test_contiguity(self):
+        t = from_numpy(np.zeros((4, 4), dtype=np.float32)[:, ::2])
+        assert not t.is_contiguous()
+        assert t.contiguous().is_contiguous()
+
+    def test_view_flat_requires_contiguous(self):
+        t = from_numpy(np.zeros((4, 4), dtype=np.float32)[:, ::2])
+        with pytest.raises(ValueError):
+            t.view_flat()
+
+    def test_rejects_non_array(self):
+        with pytest.raises(TypeError):
+            SimTensor([1, 2, 3])
+
+    def test_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            SimTensor(np.zeros(2, dtype=np.complex128))
+
+
+class TestOps:
+    def test_clone_is_independent(self):
+        t = ones(3)
+        c = t.clone()
+        c.data[0] = 9
+        assert t.data[0] == 1
+
+    def test_to_same_device_is_identity(self):
+        t = zeros(3)
+        assert t.to("cpu") is t
+
+    def test_to_other_device_copies(self):
+        t = zeros(3)
+        g = t.cuda(2)
+        g.data[0] = 5
+        assert t.data[0] == 0
+        assert g.device.index == 2
+
+    def test_copy_inplace(self):
+        a, b = zeros(4), arange(4)
+        a.copy_(b)
+        assert np.array_equal(a.data, b.data)
+
+    def test_copy_size_mismatch(self):
+        with pytest.raises(ValueError):
+            zeros(4).copy_(zeros(5))
+
+    def test_fill(self):
+        assert np.all(zeros(4).fill_(3.0).data == 3)
+
+    def test_chunk(self):
+        parts = arange(8).chunk(4)
+        assert len(parts) == 4
+        assert np.array_equal(parts[1].data, [2, 3])
+
+    def test_chunk_shares_storage(self):
+        t = zeros(8)
+        t.chunk(2)[0].data[0] = 4
+        assert t.data[0] == 4
+
+    def test_chunk_indivisible(self):
+        with pytest.raises(ValueError):
+            arange(7).chunk(2)
+
+    def test_arithmetic(self):
+        a, b = arange(3), ones(3)
+        assert np.array_equal((a + b).data, [1, 2, 3])
+        assert np.array_equal((a - b).data, [-1, 0, 1])
+        assert np.array_equal((a * 2).data, [0, 2, 4])
+        assert np.allclose((a / 2).data, [0, 0.5, 1.0])
+
+    def test_allclose(self):
+        assert arange(3).allclose(np.array([0, 1, 2], dtype=np.float32))
+
+    def test_reshape(self):
+        assert arange(6).reshape(2, 3).shape == (2, 3)
+
+    def test_identity_equality_and_hash(self):
+        a, b = zeros(2), zeros(2)
+        assert a == a and a != b
+        assert len({a, b}) == 2
+
+
+class TestVirtual:
+    def test_declares_size_without_storage(self):
+        v = virtual(1_000_000)
+        assert v.numel() == 1_000_000
+        assert v.nbytes() == 4_000_000
+        assert v.data.size == 1
+        assert v.is_virtual
+
+    def test_real_tensor_is_not_virtual(self):
+        assert not zeros(4).is_virtual
+
+    def test_clone_preserves_virtual(self):
+        assert virtual(100).clone().numel() == 100
+
+    def test_virtual_numel_must_cover_storage(self):
+        with pytest.raises(ValueError):
+            SimTensor(np.zeros(10, dtype=np.float32), virtual_numel=5)
+
+    def test_cat_real(self):
+        c = cat([arange(2), arange(3)])
+        assert np.array_equal(c.data, [0, 1, 0, 1, 2])
+
+    def test_cat_with_virtual_is_virtual(self):
+        c = cat([virtual(100), arange(4)])
+        assert c.is_virtual
+        assert c.numel() == 104
+
+    def test_cat_empty(self):
+        with pytest.raises(ValueError):
+            cat([])

@@ -1,0 +1,67 @@
+"""The simulated (end-to-end) tuning path reproduces Table II's bands.
+
+The fast analytic tuner backs the benchmarks; this validates that the
+paper-faithful path — actually running the micro-benchmarks through the
+runtime, as the real tuning suite does — lands on the same winners.
+"""
+
+import pytest
+
+from repro.backends.ops import OpFamily
+from repro.cluster import lassen
+from repro.core import Tuner
+
+BACKENDS = ["mvapich2-gdr", "nccl", "msccl"]
+
+
+@pytest.fixture(scope="module")
+def simulated_table():
+    tuner = Tuner(lassen(), BACKENDS, mode="simulated", iterations=3, warmup=1)
+    report = tuner.build_table(
+        world_sizes=[16],
+        message_sizes=[256, 2048, 4096, 8192, 16384, 32768],
+        ops=[OpFamily.ALLGATHER],
+    )
+    return report.table
+
+
+class TestSimulatedTableII:
+    def test_small_band(self, simulated_table):
+        for msg in (256, 2048):
+            assert simulated_table.lookup("allgather", 16, msg) == "mvapich2-gdr"
+
+    def test_mid_band(self, simulated_table):
+        for msg in (4096, 8192):
+            assert simulated_table.lookup("allgather", 16, msg) == "nccl"
+
+    def test_large_band(self, simulated_table):
+        for msg in (16384, 32768):
+            assert simulated_table.lookup("allgather", 16, msg) == "msccl"
+
+
+class TestSimulatedMeasurements:
+    def test_simulated_exceeds_analytic_by_dispatch_margin(self):
+        """End-to-end numbers include the synchronization the analytic
+        path doesn't; they must be close but never smaller."""
+        analytic = Tuner(lassen(), BACKENDS, mode="analytic")
+        simulated = Tuner(lassen(), BACKENDS, mode="simulated", iterations=3)
+        for msg in (2048, 1 << 18):
+            a = analytic.measure("nccl", OpFamily.ALLREDUCE, msg, 8)
+            s = simulated.measure("nccl", OpFamily.ALLREDUCE, msg, 8)
+            assert s >= a * 0.95
+            assert s <= a * 3.0 + 50.0
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            OpFamily.REDUCE_SCATTER,
+            OpFamily.BROADCAST,
+            OpFamily.REDUCE,
+            OpFamily.GATHER,
+            OpFamily.SCATTER,
+        ],
+    )
+    def test_simulated_covers_every_default_op(self, op):
+        tuner = Tuner(lassen(), ["nccl"], mode="simulated", iterations=2)
+        latency = tuner.measure("nccl", op, 4096, 4)
+        assert latency > 0

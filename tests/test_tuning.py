@@ -1,0 +1,182 @@
+"""Tuning tables and the tuning suite (paper §V-F, C5)."""
+
+import pytest
+
+from repro.backends.ops import OpFamily
+from repro.cluster import lassen, thetagpu
+from repro.core import (
+    MCRCommunicator,
+    TuningError,
+    TuningTable,
+    Tuner,
+    message_bucket,
+)
+from repro.sim import Simulator
+
+
+class TestMessageBucket:
+    def test_powers_of_two_fixed(self):
+        assert message_bucket(4096) == 4096
+
+    def test_rounds_to_nearest_pow2_in_log_space(self):
+        # geometric midpoint of [2048, 4096] is ~2896
+        assert message_bucket(2800) == 2048
+        assert message_bucket(3000) == 4096
+
+    def test_floor_at_one(self):
+        assert message_bucket(0) == 1
+        assert message_bucket(1) == 1
+
+
+class TestTuningTable:
+    def make(self):
+        t = TuningTable(system="lassen")
+        t.add("allreduce", 16, 1024, "mvapich2-gdr")
+        t.add("allreduce", 16, 1 << 20, "nccl")
+        t.add("allreduce", 64, 1 << 20, "nccl")
+        t.add("allgather", 16, 16384, "msccl")
+        return t
+
+    def test_exact_lookup(self):
+        assert self.make().lookup("allreduce", 16, 1024) == "mvapich2-gdr"
+
+    def test_message_size_snaps_to_nearest(self):
+        assert self.make().lookup("allreduce", 16, 900) == "mvapich2-gdr"
+        assert self.make().lookup("allreduce", 16, 2 << 20) == "nccl"
+
+    def test_world_size_snaps_log_space(self):
+        # 48 is closer to 64 than to 16 in log2 space
+        assert self.make().lookup("allreduce", 48, 1 << 20) == "nccl"
+
+    def test_unknown_op_returns_none(self):
+        assert self.make().lookup("alltoall", 16, 1024) is None
+
+    def test_rows_table2_format(self):
+        rows = self.make().rows("allreduce", 16)
+        assert rows == [(1024, "mvapich2-gdr"), (1 << 20, "nccl")]
+
+    def test_rows_missing_scale_raises(self):
+        with pytest.raises(TuningError):
+            self.make().rows("allreduce", 999)
+
+    def test_num_entries(self):
+        assert self.make().num_entries() == 4
+
+    def test_roundtrip_save_load(self, tmp_path):
+        t = self.make()
+        path = tmp_path / "table.json"
+        t.save(path)
+        loaded = TuningTable.load(path)
+        assert loaded.system == "lassen"
+        assert loaded.lookup("allreduce", 16, 1024) == "mvapich2-gdr"
+        assert loaded.num_entries() == t.num_entries()
+
+    def test_load_enforces_system(self, tmp_path):
+        """Tables are not transferable across systems (§V-F)."""
+        t = self.make()
+        path = tmp_path / "table.json"
+        t.save(path)
+        with pytest.raises(TuningError, match="not transferable"):
+            TuningTable.load(path, expect_system="thetagpu")
+
+    def test_merge(self):
+        a, b = self.make(), TuningTable()
+        b.add("alltoall", 16, 1024, "mvapich2-gdr")
+        a.merge(b)
+        assert a.lookup("alltoall", 16, 1024) == "mvapich2-gdr"
+
+    def test_invalid_add_rejected(self):
+        t = TuningTable()
+        with pytest.raises(TuningError):
+            t.add("allreduce", 0, 1024, "nccl")
+        with pytest.raises(TuningError):
+            t.add("allreduce", 4, -1, "nccl")
+
+
+class TestTuner:
+    def test_analytic_builds_full_table(self):
+        tuner = Tuner(lassen(), ["nccl", "mvapich2-gdr", "msccl"])
+        report = tuner.build_table(
+            world_sizes=[16], message_sizes=[256, 4096, 1 << 20],
+            ops=[OpFamily.ALLREDUCE, OpFamily.ALLGATHER],
+        )
+        # Num_Collectives x Num_Scales x Num_Message_Sizes (paper §V-F)
+        assert report.table.num_entries() == 2 * 1 * 3
+        assert len(report.samples) == 2 * 1 * 3 * 3
+
+    def test_winner_has_min_latency(self):
+        tuner = Tuner(lassen(), ["nccl", "mvapich2-gdr", "msccl"])
+        report = tuner.build_table(
+            world_sizes=[16], message_sizes=[4096], ops=[OpFamily.ALLGATHER]
+        )
+        samples = report.samples_for("allgather", 16, 4096)
+        best = min(samples, key=lambda s: s.latency_us)
+        assert report.table.lookup("allgather", 16, 4096) == best.backend
+
+    def test_simulated_and_analytic_agree_on_ranking(self):
+        kwargs = dict(
+            world_sizes=[4], message_sizes=[1024, 1 << 18], ops=[OpFamily.ALLREDUCE]
+        )
+        analytic = Tuner(lassen(), ["nccl", "mvapich2-gdr"], mode="analytic").build_table(**kwargs)
+        simulated = Tuner(
+            lassen(), ["nccl", "mvapich2-gdr"], mode="simulated", iterations=3
+        ).build_table(**kwargs)
+        assert analytic.table.entries == simulated.table.entries
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(TuningError):
+            Tuner(lassen(), ["nccl"], mode="magic")
+
+    def test_empty_backends_rejected(self):
+        with pytest.raises(TuningError):
+            Tuner(lassen(), [])
+
+    def test_world_size_one_rejected(self):
+        with pytest.raises(TuningError):
+            Tuner(lassen(), ["nccl"]).build_table(world_sizes=[1], message_sizes=[256])
+
+
+class TestAutoDispatch:
+    def build_table(self):
+        return Tuner(lassen(), ["nccl", "mvapich2-gdr", "msccl"]).build_table(
+            world_sizes=[4],
+            message_sizes=[256, 4096, 1 << 20],
+        ).table
+
+    def test_auto_routes_by_size(self):
+        """Fine-grained mixing: one op, different backend per size."""
+        table = self.build_table()
+
+        def main(ctx):
+            comm = MCRCommunicator(
+                ctx, ["nccl", "mvapich2-gdr", "msccl"], tuning_table=table
+            )
+            comm.all_reduce("auto", ctx.zeros(64))  # 256 B
+            comm.all_reduce("auto", ctx.virtual_tensor(1 << 18))  # 1 MiB
+            comm.finalize()
+
+        res = Simulator(4, trace=True).run(main)
+        labels = {r.label for r in res.tracer.filter(rank=0, category="comm")}
+        chosen_small = table.lookup("allreduce", 4, 256)
+        chosen_large = table.lookup("allreduce", 4, 1 << 20)
+        assert chosen_small != chosen_large  # the table is actually mixed
+        assert f"allreduce:{chosen_small}" in labels
+        assert f"allreduce:{chosen_large}" in labels
+
+    def test_auto_skips_uninitialized_backend(self):
+        table = TuningTable()
+        table.add("allreduce", 4, 256, "gloo")  # tuned for a missing backend
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"], tuning_table=table)
+            comm.all_reduce("auto", ctx.zeros(64))
+            comm.finalize()
+
+        Simulator(4).run(main)  # falls back instead of crashing
+
+    def test_table_ops_cover_paper_defaults(self):
+        from repro.core import DEFAULT_OPS
+
+        assert OpFamily.ALLREDUCE in DEFAULT_OPS
+        assert OpFamily.ALLTOALL in DEFAULT_OPS
+        assert len(DEFAULT_OPS) == 8
