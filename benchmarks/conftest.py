@@ -17,6 +17,14 @@ from repro.cluster import lassen, thetagpu
 from repro.core import Tuner
 
 
+def pytest_collection_modifyitems(items):
+    """Every figure/table reproduction is a long multi-rank simulation;
+    mark the whole directory ``slow`` so ``-m "not slow"`` keeps quick
+    iterations to the unit suite."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture(scope="session")
 def lassen_system():
     return lassen()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Perf gate: fail when the simulator regresses against the committed
+baseline.
+
+Runs the canonical :mod:`repro.bench.perfregress` scenarios fresh and
+compares them against the ``after`` side of the committed
+``BENCH_simulator.json``:
+
+* **wall-clock**: any scenario more than ``--tolerance`` (default 20%)
+  slower than its baseline fails the gate.  Scenarios faster than the
+  baseline are reported (consider refreshing the baseline).
+* **simulated fingerprints** (``sim_*`` metrics): any difference fails
+  unconditionally — wall-clock noise is expected, timing-semantics
+  drift never is.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perfgate.py [--baseline BENCH_simulator.json]
+        [--tolerance 0.20] [--repeats 3] [--min-wall-s 0.02]
+
+Exit status 0 = pass, 1 = regression, 2 = unusable baseline.
+
+Tiny scenarios (baseline wall below ``--min-wall-s``) are exempt from
+the wall-clock check — at millisecond scale the 20% band is dominated
+by scheduler noise — but still fingerprint-checked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench import perfregress  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_simulator.json"),
+    )
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-wall-s", type=float, default=0.02)
+    args = parser.parse_args(argv)
+
+    data = perfregress.load(args.baseline)
+    baseline = data.get("after", {}).get("scenarios")
+    if not baseline:
+        print(f"perfgate: no 'after' baseline in {args.baseline}", file=sys.stderr)
+        return 2
+
+    fresh = perfregress.run_scenarios(
+        sorted(set(baseline) & set(perfregress.SCENARIOS)),
+        repeats=args.repeats,
+        progress=print,
+    )
+
+    failures = []
+    print(f"\n{'scenario':<18} {'baseline':>10} {'now':>10} {'ratio':>7}  verdict")
+    print("-" * 60)
+    for name in sorted(fresh):
+        base, cur = baseline[name], fresh[name]
+        ratio = cur["wall_s"] / base["wall_s"] if base["wall_s"] > 0 else float("inf")
+        verdict = "ok"
+        if perfregress.fingerprint(base) != perfregress.fingerprint(cur):
+            verdict = "SIM-DIFFERS"
+            failures.append(f"{name}: simulated fingerprint changed")
+        elif base["wall_s"] < args.min_wall_s:
+            verdict = "ok (tiny, wall exempt)"
+        elif ratio > 1.0 + args.tolerance:
+            verdict = f"REGRESSED >{args.tolerance:.0%}"
+            failures.append(f"{name}: {ratio:.2f}x baseline wall-clock")
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "faster (refresh baseline?)"
+        print(
+            f"{name:<18} {base['wall_s']*1e3:9.1f}ms {cur['wall_s']*1e3:9.1f}ms "
+            f"{ratio:6.2f}x  {verdict}"
+        )
+
+    if failures:
+        print("\nperfgate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperfgate passed.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

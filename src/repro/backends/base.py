@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Optional, Type
 
 from repro.backends.calibration import (
@@ -22,6 +23,30 @@ from repro.backends.calibration import (
 from repro.backends.cost import CostParams, evaluate
 from repro.backends.ops import OpFamily
 from repro.cluster.topology import CommPath, SystemSpec
+
+
+# -- cost memoization ------------------------------------------------------
+#
+# Cost models are deterministic functions of pure values: the backend
+# class (tuning tables and algorithm selection are class attributes),
+# the system spec (treated as immutable once built), and the call
+# arguments.  Backends of the same class share one memo table per
+# system, so every rank — and every communicator/tuner re-instantiating
+# backends — hits the same cache.  A system spec mutated after use must
+# be followed by :func:`clear_cost_caches`.
+
+_COST_CACHE_LIMIT = 1 << 17
+
+
+@lru_cache(maxsize=256)
+def _cost_cache_for(cls: type, system: "SystemSpec") -> dict:
+    """The shared memo table for one (backend class, system) pair."""
+    return {}
+
+
+def clear_cost_caches() -> None:
+    """Drop every memoized cost (after mutating a SystemSpec in place)."""
+    _cost_cache_for.cache_clear()
 
 
 @dataclass(frozen=True)
@@ -65,6 +90,11 @@ class Backend(abc.ABC):
         self.initialized = False
         #: monotonically increasing op counter (rendezvous keys)
         self.op_sequence = 0
+        #: shared per-(class, system) cost memo table (see module header)
+        self._cost_cache = _cost_cache_for(type(self), system)
+        #: canonical name, bound per instance (attribute reads sit on the
+        #: per-op hot path; a property lookup there is measurable)
+        self.name = self.properties.name
 
     # -- lifecycle -------------------------------------------------------
 
@@ -74,10 +104,6 @@ class Backend(abc.ABC):
 
     def finalize(self) -> None:
         self.initialized = False
-
-    @property
-    def name(self) -> str:
-        return self.properties.name
 
     # -- capability queries ----------------------------------------------
 
@@ -123,6 +149,28 @@ class Backend(abc.ABC):
         """
         if p < 1:
             raise ValueError(f"invalid communicator size {p}")
+        cache = self._cost_cache
+        key = (family, nbytes, p, comm_path, vector, nonblocking)
+        cost = cache.get(key)
+        if cost is not None:
+            return cost
+        cost = self._collective_cost_uncached(
+            family, nbytes, p, comm_path, vector, nonblocking
+        )
+        if len(cache) >= _COST_CACHE_LIMIT:  # pragma: no cover - safety valve
+            cache.clear()
+        cache[key] = cost
+        return cost
+
+    def _collective_cost_uncached(
+        self,
+        family: OpFamily,
+        nbytes: int,
+        p: int,
+        comm_path: CommPath,
+        vector: bool,
+        nonblocking: bool,
+    ) -> float:
         op = self.tuning.op(self.tuning_key(family, nbytes, p))
         extra = 0.0
         if vector:
@@ -151,6 +199,11 @@ class Backend(abc.ABC):
 
     def p2p_cost_us(self, nbytes: int, same_node: bool) -> float:
         """Simulated duration of one point-to-point message."""
+        cache = self._cost_cache
+        key = ("p2p", nbytes, same_node)
+        cost = cache.get(key)
+        if cost is not None:
+            return cost
         op = self.tuning.op("p2p")
         link = self.system.node.intra_link if same_node else self.system.inter_link
         params = CostParams(
@@ -159,7 +212,11 @@ class Backend(abc.ABC):
             p=2,
             n=nbytes,
         )
-        return evaluate("p2p_send", params) + self.staging_cost_us(nbytes)
+        cost = evaluate("p2p_send", params) + self.staging_cost_us(nbytes)
+        if len(cache) >= _COST_CACHE_LIMIT:  # pragma: no cover - safety valve
+            cache.clear()
+        cache[key] = cost
+        return cost
 
     def staging_cost_us(self, nbytes: int) -> float:
         """Host staging penalty for non-CUDA-aware libraries (one copy

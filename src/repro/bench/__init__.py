@@ -12,9 +12,13 @@ from repro.bench.microbench import (
     overhead_pct,
     MICRO_MESSAGE_SIZES,
 )
+from repro.bench.perfregress import SCENARIOS as PERF_SCENARIOS
+from repro.bench.perfregress import run_scenarios
 from repro.bench.reporting import Report, format_table, save_report
 
 __all__ = [
+    "PERF_SCENARIOS",
+    "run_scenarios",
     "framework_latency_us",
     "omb_latency_us",
     "overhead_pct",

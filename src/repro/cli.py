@@ -9,6 +9,8 @@ A downstream user's entry points without writing a script::
     python -m repro micro --system lassen --op alltoall --world 64
     python -m repro train --model ds-moe --system lassen --world 16 \
         --plan mixed                         # one training measurement
+    python -m repro perf --out BENCH_simulator.json \
+        --label after                        # wall-clock perf harness
 """
 
 from __future__ import annotations
@@ -160,6 +162,18 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    from repro.bench import perfregress
+
+    results = perfregress.run_scenarios(
+        args.scenarios, repeats=args.repeats, progress=print
+    )
+    data = perfregress.merge_results(args.out, args.label, results)
+    print(f"[{args.label}] {len(results)} scenario(s) -> {args.out}")
+    print(perfregress.render_comparison(data))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -205,6 +219,21 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--steps", type=int, default=2)
     train.add_argument("--warmup", type=int, default=1)
     train.set_defaults(func=cmd_train)
+
+    perf = sub.add_parser(
+        "perf", help="wall-clock perf-regression harness for the simulator"
+    )
+    perf.add_argument("--out", default="BENCH_simulator.json")
+    perf.add_argument(
+        "--label", choices=["before", "after"], default="after",
+        help="which side of the comparison this run records",
+    )
+    perf.add_argument("--repeats", type=int, default=3)
+    perf.add_argument(
+        "--scenarios", nargs="+", default=None,
+        help="subset of scenarios to run (default: all)",
+    )
+    perf.set_defaults(func=cmd_perf)
     return parser
 
 

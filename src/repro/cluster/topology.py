@@ -74,6 +74,9 @@ class SystemSpec:
         self.fabric_contention = fabric_contention
         self.cross_path_interference = cross_path_interference
         self.fabric = fabric
+        # comm_path(ws) is pure in the spec's (post-construction
+        # immutable) topology and sits under every analytic cost query
+        self._comm_path_cache: dict[int, CommPath] = {}
 
     # -- rank placement (dense packing) ---------------------------------
 
@@ -125,18 +128,25 @@ class SystemSpec:
         reason scaling efficiency drops when crossing the node boundary),
         inflated by fat-tree contention as the node count grows.
         """
+        cached = self._comm_path_cache.get(world_size)
+        if cached is not None:
+            return cached
+        return self._comm_path_uncached(world_size)
+
+    def _comm_path_uncached(self, world_size: int) -> CommPath:
         self.validate_world_size(world_size)
         ppn = min(world_size, self.gpus_per_node)
         n_nodes = self.nodes_for(world_size)
         intra = self.node.intra_link
         if n_nodes == 1:
-            return CommPath(
+            path = self._comm_path_cache[world_size] = CommPath(
                 alpha_us=intra.latency_us,
                 beta_us_per_byte=intra.beta_us_per_byte,
                 intra_fraction=1.0,
                 n_nodes=1,
                 ppn=ppn,
             )
+            return path
         # fraction of ordered peer pairs that are intra-node
         p = world_size
         intra_pairs = p * (ppn - 1)
@@ -155,13 +165,14 @@ class SystemSpec:
         beta_inter = 1.0 / (inter_bw_per_rank * 1e3)
         # blended beta: intra traffic still rides NVLink
         beta = intra_fraction * intra.beta_us_per_byte + (1 - intra_fraction) * beta_inter
-        return CommPath(
+        path = self._comm_path_cache[world_size] = CommPath(
             alpha_us=alpha,
             beta_us_per_byte=beta,
             intra_fraction=intra_fraction,
             n_nodes=n_nodes,
             ppn=ppn,
         )
+        return path
 
     def comm_path_for_ranks(self, ranks) -> CommPath:
         """Effective alpha/beta for a communicator over an explicit rank

@@ -67,13 +67,22 @@ class WorkHandle:
             # the host continues immediately.
             self.ctx.gpu.default_stream._gates.append(self.member_node)
             return
-        # host-synchronized (MPI_Wait)
-        self.ctx.wait_flag(self.flag, reason=f"wait({self.label})")
+        # host-synchronized (MPI_Wait); the decorated reason is only worth
+        # building when the flag is still pending (it can actually park)
+        flag = self.flag
+        if flag.ready_time is None:
+            self.ctx.engine.wait_flag(flag, reason=f"wait({self.label})")
+        else:
+            self.ctx.engine.wait_flag(flag, reason=self.label)
 
     def synchronize(self) -> None:
         """Block the *host* until the operation completes."""
         self._waited = True
-        self.ctx.wait_flag(self.flag, reason=f"synchronize({self.label})")
+        flag = self.flag
+        if flag.ready_time is None:
+            self.ctx.engine.wait_flag(flag, reason=f"synchronize({self.label})")
+        else:
+            self.ctx.engine.wait_flag(flag, reason=self.label)
 
     def is_completed(self) -> bool:
         """Non-blocking completion test (MPI_Test analogue)."""

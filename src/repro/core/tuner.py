@@ -68,6 +68,60 @@ class TuningReport:
         ]
 
 
+class _BenchBuffers:
+    """Lazily allocated tensors shared by the simulated op runners."""
+
+    __slots__ = ("ctx", "numel", "_cache")
+
+    def __init__(self, ctx, numel: int):
+        self.ctx = ctx
+        self.numel = numel
+        self._cache: dict[str, object] = {}
+
+    def get(self, name: str, numel: int):
+        buf = self._cache.get(name)
+        if buf is None:
+            buf = self._cache[name] = self.ctx.zeros(numel)
+        return buf
+
+    @property
+    def x(self):
+        return self.get("x", self.numel)
+
+    @property
+    def out(self):
+        return self.get("out", self.numel * self.ctx.world_size)
+
+    @property
+    def big(self):
+        return self.get("big", self.numel * self.ctx.world_size)
+
+
+def _run_reduce_scatter(comm, backend_name, ctx, bufs):
+    small = bufs.get("small", max(1, bufs.numel // ctx.world_size))
+    pad = bufs.get("pad", small.numel() * ctx.world_size)
+    comm.reduce_scatter(backend_name, small, pad)
+
+
+#: simulated micro-benchmark body per op family
+_SIM_OP_RUNNERS = {
+    OpFamily.ALLREDUCE: lambda comm, b, ctx, bufs: comm.all_reduce(b, bufs.x),
+    OpFamily.ALLGATHER: lambda comm, b, ctx, bufs: comm.all_gather(b, bufs.out, bufs.x),
+    OpFamily.ALLTOALL: lambda comm, b, ctx, bufs: comm.all_to_all_single(
+        b, bufs.big, bufs.big
+    ),
+    OpFamily.REDUCE_SCATTER: _run_reduce_scatter,
+    OpFamily.BROADCAST: lambda comm, b, ctx, bufs: comm.bcast(b, bufs.x, root=0),
+    OpFamily.REDUCE: lambda comm, b, ctx, bufs: comm.reduce(b, bufs.x, root=0),
+    OpFamily.GATHER: lambda comm, b, ctx, bufs: comm.gather(
+        b, bufs.x, bufs.out if ctx.rank == 0 else None, root=0
+    ),
+    OpFamily.SCATTER: lambda comm, b, ctx, bufs: comm.scatter(
+        b, bufs.x, bufs.big if ctx.rank == 0 else None, root=0
+    ),
+}
+
+
 class Tuner:
     """Builds tuning tables for a system over a set of backends."""
 
@@ -90,6 +144,10 @@ class Tuner:
         self.mode = mode
         self.iterations = iterations
         self.warmup = warmup
+        #: one analytic backend instance per (name, world_size), reused
+        #: across the whole sweep — instantiating per cell dominated wide
+        #: analytic sweeps and defeated the shared cost memo
+        self._analytic_backends: dict[tuple[str, int], object] = {}
 
     # -- measurement --------------------------------------------------------
 
@@ -104,7 +162,12 @@ class Tuner:
     def _measure_analytic(
         self, backend_name: str, op: OpFamily, msg_bytes: int, world_size: int
     ) -> float:
-        backend = create_backend(backend_name, 0, world_size, self.system)
+        key = (backend_name, world_size)
+        backend = self._analytic_backends.get(key)
+        if backend is None:
+            backend = self._analytic_backends[key] = create_backend(
+                backend_name, 0, world_size, self.system
+            )
         path = self.system.comm_path(world_size)
         raw = backend.collective_cost_us(op, msg_bytes, world_size, path)
         raw *= 1.0 + self.config.dispatch_fraction
@@ -120,34 +183,16 @@ class Tuner:
         iters, warmup = self.iterations, self.warmup
         numel = max(1, msg_bytes // float32.itemsize)
         config = self.config
+        runner = _SIM_OP_RUNNERS.get(op)
+        if runner is None:
+            raise TuningError(f"tuner cannot benchmark {op}")
 
         def bench(ctx):
             comm = MCRCommunicator(ctx, [backend_name], config=config)
-            x = ctx.zeros(numel)
-            out = ctx.zeros(numel * ctx.world_size)
-            big = ctx.zeros(numel * ctx.world_size)
+            bufs = _BenchBuffers(ctx, numel)
 
             def run_op():
-                if op is OpFamily.ALLREDUCE:
-                    comm.all_reduce(backend_name, x)
-                elif op is OpFamily.ALLGATHER:
-                    comm.all_gather(backend_name, out, x)
-                elif op is OpFamily.ALLTOALL:
-                    comm.all_to_all_single(backend_name, big, big)
-                elif op is OpFamily.REDUCE_SCATTER:
-                    small = ctx.zeros(max(1, numel // ctx.world_size))
-                    pad = ctx.zeros(small.numel() * ctx.world_size)
-                    comm.reduce_scatter(backend_name, small, pad)
-                elif op is OpFamily.BROADCAST:
-                    comm.bcast(backend_name, x, root=0)
-                elif op is OpFamily.REDUCE:
-                    comm.reduce(backend_name, x, root=0)
-                elif op is OpFamily.GATHER:
-                    comm.gather(backend_name, x, out if ctx.rank == 0 else None, root=0)
-                elif op is OpFamily.SCATTER:
-                    comm.scatter(backend_name, x, big if ctx.rank == 0 else None, root=0)
-                else:
-                    raise TuningError(f"tuner cannot benchmark {op}")
+                runner(comm, backend_name, ctx, bufs)
                 comm.synchronize(backend_name)
 
             for _ in range(warmup):
@@ -159,8 +204,6 @@ class Tuner:
             elapsed = ctx.now - start
             comm.finalize()
             return elapsed / iters
-
-        from repro.cluster import SystemSpec as _S  # noqa: F401 (doc aid)
 
         result = Simulator(world_size, system=self.system).run(bench)
         return max(result.rank_results)
@@ -174,12 +217,15 @@ class Tuner:
         ops: Sequence[OpFamily] = DEFAULT_OPS,
     ) -> TuningReport:
         """Benchmark every combination and record the per-cell winner."""
+        bad = [ws for ws in world_sizes if ws < 2]
+        if bad:
+            # validate before measuring anything so a bad sweep cannot
+            # leave a partially populated report behind
+            raise TuningError(f"tuning needs world sizes >= 2, got {bad}")
         table = TuningTable(system=self.system.name)
         report = TuningReport(table=table)
         for op in ops:
             for ws in world_sizes:
-                if ws < 2:
-                    raise TuningError("tuning needs world sizes >= 2")
                 for msg in message_sizes:
                     best_backend, best_latency = None, float("inf")
                     for backend in self.backends:

@@ -37,6 +37,12 @@ class TuningTable:
     system: str = "unknown"
     entries: dict[str, dict[int, dict[int, str]]] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # lookup() runs once per "auto"-dispatched operation; the sorting
+        # and log-space nearest-neighbour search are memoized per snapped
+        # (op, world size, bucket) and invalidated whenever entries change
+        self._lookup_cache: dict[tuple[str, int, int], Optional[str]] = {}
+
     # -- construction ----------------------------------------------------
 
     def add(self, op: str, world_size: int, msg_bytes: int, backend: str) -> None:
@@ -46,24 +52,36 @@ class TuningTable:
             raise TuningError(f"bad message size {msg_bytes}")
         bucket = message_bucket(msg_bytes)
         self.entries.setdefault(op, {}).setdefault(world_size, {})[bucket] = backend
+        self._lookup_cache.clear()
 
     def merge(self, other: "TuningTable") -> None:
         for op, scales in other.entries.items():
             for ws, buckets in scales.items():
                 for bucket, backend in buckets.items():
                     self.entries.setdefault(op, {}).setdefault(ws, {})[bucket] = backend
+        self._lookup_cache.clear()
 
     # -- lookup ------------------------------------------------------------
 
     def lookup(self, op: str, world_size: int, msg_bytes: int) -> Optional[str]:
         """Best backend for the op, or None if the op was never tuned."""
+        key = (op, world_size, message_bucket(msg_bytes))
+        cache = self._lookup_cache
+        try:
+            return cache[key]
+        except KeyError:
+            pass
+        choice = self._lookup_uncached(*key)
+        cache[key] = choice
+        return choice
+
+    def _lookup_uncached(self, op: str, world_size: int, bucket: int) -> Optional[str]:
         scales = self.entries.get(op)
         if not scales:
             return None
         ws = self._nearest(sorted(scales), world_size)
         buckets = scales[ws]
-        bucket = self._nearest(sorted(buckets), message_bucket(msg_bytes))
-        return buckets[bucket]
+        return buckets[self._nearest(sorted(buckets), bucket)]
 
     @staticmethod
     def _nearest(candidates: list[int], value: int) -> int:

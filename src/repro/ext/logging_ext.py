@@ -16,9 +16,14 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.process import RankContext
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CommRecord:
-    """One completed communication operation on one rank."""
+    """One completed communication operation on one rank.
+
+    A plain slotted dataclass: one record is appended per operation, and
+    the frozen variant's ``object.__setattr__``-per-field construction
+    cost was measurable at that rate.
+    """
 
     rank: int
     family: str

@@ -69,7 +69,8 @@ class GpuOp:
         self.category = category
         self.duration = duration
         self.host_ready = host_ready
-        self.deps = [d for d in deps if d is not None]
+        #: None-free and owned by this node; Stream.enqueue* sanitize
+        self.deps = deps
         self.prev = prev
         self.group = group
         self.end: Optional[float] = None

@@ -89,7 +89,9 @@ class RankContext:
         The host does *not* block for the kernel itself.
         """
         stream = stream or self.gpu.default_stream
-        self.sleep(self.gpu.kernel_launch_overhead_us, reason=f"launch({label})")
+        # plain label as the reason: launch overhead is a pure time advance
+        # on the hot path and the f-string decoration was pure overhead
+        self.engine.sleep(self.gpu.kernel_launch_overhead_us, label)
         return stream.enqueue(
             duration_us * self.compute_scale, deps=deps, label=label, category=category
         )

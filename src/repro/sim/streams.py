@@ -93,18 +93,49 @@ class Stream:
         if duration < 0:
             raise SimError(f"negative kernel duration {duration}")
         engine = self.gpu.engine
+        if self._gates:
+            deps = [d for d in deps if d is not None] + self._gates
+            self._gates = []
+        elif deps:
+            deps = [d for d in deps if d is not None]
+        prev = self.last
         node = GpuOp(
             stream=self,
             duration=duration,
             host_ready=engine.now,
-            deps=list(deps) + self._gates,
+            deps=deps,
             label=label,
             category=category,
-            prev=self.last,
+            prev=prev,
         )
-        self._gates = []
         self.last = node
-        resolve(node, engine)
+        # fast path: everything the node waits on is already resolved, so
+        # its timing is final right here — equivalent to resolve() for a
+        # brand-new node (no flag, no successors) minus the worklist
+        blocked = prev is not None and prev.end is None
+        if not blocked:
+            for d in node.deps:
+                if d.end is None:
+                    blocked = True
+                    break
+        if blocked:
+            resolve(node, engine)
+            return node
+        start = node.host_ready
+        if prev is not None and prev.end > start:
+            start = prev.end
+        for d in node.deps:
+            if d.end > start:
+                start = d.end
+        node.start = start
+        node.end = start + duration
+        gpu = self.gpu
+        tracer = gpu.tracer
+        if tracer is not None:
+            tracer.record(
+                rank=gpu.index, stream=self.name, label=label,
+                category=category, start=start, end=node.end,
+            )
         return node
 
     def enqueue_collective_member(
@@ -116,17 +147,21 @@ class Stream:
     ) -> GpuOp:
         """Enqueue this rank's member of a collective ``group``."""
         engine = self.gpu.engine
+        if self._gates:
+            deps = [d for d in deps if d is not None] + self._gates
+            self._gates = []
+        elif deps:
+            deps = [d for d in deps if d is not None]
         node = GpuOp(
             stream=self,
             duration=None,  # owned by the group
             host_ready=engine.now,
-            deps=list(deps) + self._gates,
+            deps=deps,
             label=label,
             category=category,
             prev=self.last,
             group=group,
         )
-        self._gates = []
         self.last = node
         group.add_member(node)
         return node

@@ -71,7 +71,7 @@ class SimTensor:
     tests always use real tensors.
     """
 
-    __slots__ = ("_data", "_device", "_virtual_numel")
+    __slots__ = ("_data", "_device", "_virtual_numel", "_dtype")
 
     def __init__(
         self,
@@ -81,7 +81,9 @@ class SimTensor:
     ):
         if not isinstance(data, np.ndarray):
             raise TypeError(f"SimTensor wraps numpy arrays, got {type(data).__name__}")
-        dtype_from_numpy(data.dtype)  # validate supported dtype
+        # validates the dtype is supported; cached because metadata reads
+        # (dtype/element_size/nbytes) run once or more per communication op
+        self._dtype = dtype_from_numpy(data.dtype)
         if virtual_numel is not None and virtual_numel < data.size:
             raise ValueError(
                 f"virtual_numel {virtual_numel} smaller than storage {data.size}"
@@ -107,7 +109,7 @@ class SimTensor:
 
     @property
     def dtype(self) -> DType:
-        return dtype_from_numpy(self._data.dtype)
+        return self._dtype
 
     @property
     def shape(self) -> tuple[int, ...]:
@@ -123,7 +125,7 @@ class SimTensor:
         return int(self._data.size)
 
     def element_size(self) -> int:
-        return self.dtype.itemsize
+        return self._dtype.itemsize
 
     def nbytes(self) -> int:
         return self.numel() * self.element_size()
