@@ -1,0 +1,88 @@
+"""Fault-injection ablation: training throughput under degraded modes.
+
+Not a paper figure — this quantifies the graceful-degradation story:
+the same DS-MoE configuration run healthy, with a flaky transient
+backend, through a degraded-fabric window, and across a permanent
+backend failure.  Every degraded run must still complete (retry /
+failover, never deadlock) at a throughput no better than healthy.
+"""
+
+import pytest
+
+from repro.bench.reporting import Report
+from repro.models import BackendPlan, DSMoEModel, Trainer
+from repro.sim.faults import BackendFault, FaultSpec, LinkFault
+
+WORLD = 8
+
+MODES = {
+    "healthy": None,
+    "transient-nccl": FaultSpec(
+        seed=7,
+        backend_faults=(
+            BackendFault("nccl", "transient", prob=0.05, max_consecutive=2),
+        ),
+    ),
+    "degraded-link": FaultSpec(
+        link_faults=(LinkFault(factor=2.5),),
+    ),
+    "nccl-dies": FaultSpec(
+        backend_faults=(BackendFault("nccl", "permanent", at_op=20),),
+    ),
+    "straggler": FaultSpec(stragglers={1: 1.5}),
+}
+
+
+def run_modes(system):
+    model = DSMoEModel()
+    plan = BackendPlan.mixed(label="MCR-DL")
+    results = {}
+    for label, spec in MODES.items():
+        trainer = Trainer(system, steps=2, warmup=1, faults=spec)
+        results[label] = trainer.run(model, WORLD, plan)
+    return results
+
+
+@pytest.mark.benchmark(group="faults")
+def test_faults_ablation_degraded_modes_complete(
+    benchmark, thetagpu_system, publish
+):
+    results = benchmark.pedantic(
+        lambda: run_modes(thetagpu_system), rounds=1, iterations=1
+    )
+
+    report = Report(
+        experiment="faults_ablation",
+        title=f"DS-MoE under injected faults ({WORLD} ranks, ThetaGPU, mixed plan)",
+        header=["mode", "samples_per_sec", "step_us", "retries", "failovers",
+                "quarantines"],
+    )
+    for label, r in results.items():
+        ev = r.fault_events
+        report.add_row(
+            label,
+            round(r.samples_per_sec, 1),
+            round(r.step_time_us, 1),
+            ev.get("retry", 0),
+            ev.get("failover", 0),
+            ev.get("quarantine", 0),
+        )
+    report.add_note("degraded modes retry/failover instead of deadlocking")
+    publish(report)
+
+    healthy = results["healthy"]
+    assert not healthy.fault_events
+
+    # every degraded mode completed, and none runs *faster* than healthy
+    for label, r in results.items():
+        assert r.samples_per_sec > 0
+        if label != "healthy":
+            assert r.samples_per_sec <= healthy.samples_per_sec * 1.001
+
+    # the injected failure modes leave their fingerprints in the log
+    # (the quarantine itself lands in warmup and is cleared with it; the
+    # per-op failovers keep appearing through the measured steps)
+    assert results["transient-nccl"].fault_events.get("retry", 0) > 0
+    assert results["nccl-dies"].fault_events.get("failover", 0) > 0
+    assert results["degraded-link"].step_time_us > healthy.step_time_us
+    assert results["straggler"].step_time_us > healthy.step_time_us

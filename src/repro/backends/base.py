@@ -90,6 +90,11 @@ class Backend(abc.ABC):
         self.initialized = False
         #: monotonically increasing op counter (rendezvous keys)
         self.op_sequence = 0
+        #: failure latch: set via fail() when the library suffers a
+        #: permanent fault; a failed backend stays usable for draining
+        #: already-posted work but must not accept new dispatches
+        self.failed = False
+        self.failure_reason: Optional[str] = None
         #: shared per-(class, system) cost memo table (see module header)
         self._cost_cache = _cost_cache_for(type(self), system)
         #: canonical name, bound per instance (attribute reads sit on the
@@ -104,6 +109,23 @@ class Backend(abc.ABC):
 
     def finalize(self) -> None:
         self.initialized = False
+
+    # -- failure modes (fault injection / graceful degradation) ----------
+
+    def fail(self, reason: str = "injected permanent fault") -> None:
+        """Latch a permanent library failure.
+
+        Called by the communicator when the fault injector declares this
+        backend permanently down; the communicator quarantines the
+        backend and fails over, while in-flight operations drain.
+        """
+        self.failed = True
+        self.failure_reason = reason
+
+    @property
+    def usable(self) -> bool:
+        """Whether new operations may be dispatched on this backend."""
+        return self.initialized and not self.failed
 
     # -- capability queries ----------------------------------------------
 

@@ -147,7 +147,15 @@ def cmd_train(args: argparse.Namespace) -> int:
     system = _system(args.system)
     model = _model(args.model)
     plan = _plan(args.plan, args.table)
-    trainer = Trainer(system, steps=args.steps, warmup=args.warmup)
+    faults = None
+    if args.faults:
+        from repro.sim.faults import FaultSpec
+
+        try:
+            faults = FaultSpec.parse(args.faults)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"bad --faults spec: {exc}")
+    trainer = Trainer(system, steps=args.steps, warmup=args.warmup, faults=faults)
     result = trainer.run(model, args.world, plan)
     payload = {
         "model": result.model,
@@ -158,6 +166,8 @@ def cmd_train(args: argparse.Namespace) -> int:
         "comm_by_family_us": result.comm_by_family,
         "comm_by_backend_us": result.comm_by_backend,
     }
+    if faults is not None:
+        payload["fault_events"] = result.fault_events
     print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
@@ -218,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--table", help="tuning table JSON (for --plan tuned)")
     train.add_argument("--steps", type=int, default=2)
     train.add_argument("--warmup", type=int, default=1)
+    train.add_argument(
+        "--faults", default=None,
+        help="seeded fault-injection spec, e.g. "
+        "'seed=7;backend=nccl:transient:prob=0.1;link=2000:8000:1.8;"
+        "straggler=1:1.4' (see repro.sim.faults.FaultSpec.parse)",
+    )
     train.set_defaults(func=cmd_train)
 
     perf = sub.add_parser(

@@ -74,6 +74,11 @@ class SystemSpec:
         self.fabric_contention = fabric_contention
         self.cross_path_interference = cross_path_interference
         self.fabric = fabric
+        #: optional time-varying fabric degradation (an object with a
+        #: ``factor_at(t_us) -> float`` method, e.g.
+        #: repro.sim.faults.LinkSchedule); installed by the fault
+        #: injector, consulted per transfer via link_time_factor()
+        self.link_degradation = None
         # comm_path(ws) is pure in the spec's (post-construction
         # immutable) topology and sits under every analytic cost query
         self._comm_path_cache: dict[int, CommPath] = {}
@@ -213,6 +218,14 @@ class SystemSpec:
             n_nodes=n_nodes,
             ppn=max_occupancy,
         )
+
+    # -- fault injection ---------------------------------------------------
+
+    def link_time_factor(self, t_us: float) -> float:
+        """Duration multiplier for fabric transfers at virtual time
+        ``t_us`` (1.0 = healthy; >1 = degraded link window active)."""
+        sched = self.link_degradation
+        return 1.0 if sched is None else sched.factor_at(t_us)
 
     # -- host staging (non-CUDA-aware paths) -------------------------------
 

@@ -17,6 +17,7 @@ from repro.core.comm import MCRCommunicator
 from repro.core.config import CompressionConfig, MCRConfig
 from repro.core.exceptions import (
     BackendError,
+    CommTimeoutError,
     ConfigurationError,
     MCRError,
     TuningError,
@@ -34,6 +35,7 @@ __all__ = [
     "CompressionConfig",
     "MCRError",
     "BackendError",
+    "CommTimeoutError",
     "ConfigurationError",
     "TuningError",
     "ValidationError",

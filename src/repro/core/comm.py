@@ -25,7 +25,12 @@ from repro.backends import datapath
 from repro.backends.base import Backend, canonical_name, create_backend
 from repro.backends.ops import OpFamily, ReduceOp
 from repro.core.config import MCRConfig
-from repro.core.exceptions import BackendError, MCRError, ValidationError
+from repro.core.exceptions import (
+    BackendError,
+    CommTimeoutError,
+    MCRError,
+    ValidationError,
+)
 from repro.core.handles import CompletedHandle, WorkHandle
 from repro.core.sync import SyncManager
 from repro.core.tuning import TuningTable
@@ -170,11 +175,32 @@ class MCRCommunicator:
         #: this in around started ops)
         self._persistent_scale: Optional[float] = None
 
+        # fault injection / graceful degradation (repro.sim.faults): the
+        # injector is installed into shared state by the Simulator; with
+        # no injector and no degradation hook the per-op gates below are
+        # two False boolean checks.
+        self._injector = ctx.shared.get("fault_injector")
+        self._fault_gate = self._injector is not None
+        #: permanently failed backends; decisions adding to this set are
+        #: deterministic per (comm, backend, collective index) so every
+        #: rank quarantines at the same op and the set stays symmetric
+        self._quarantined: set = set()
+        #: per-scope op counters driving injector decisions (see
+        #: _admit_backend for the symmetry argument)
+        self._fault_counters: dict = {}
+
         self.logger = None
         if self.config.enable_logging:
             from repro.ext.logging_ext import CommLogger
 
             self.logger = CommLogger.shared(ctx)
+        #: retry/failover events always go to the shared comm log, even
+        #: when per-op logging is off
+        self._fault_log = None
+        if self._fault_gate:
+            from repro.ext.logging_ext import CommLogger
+
+            self._fault_log = CommLogger.shared(ctx)
 
         self._codec = None
         if self.config.compression.enabled:
@@ -197,6 +223,10 @@ class MCRCommunicator:
             self._comm_path = ctx.system.comm_path(ctx.world_size)
         else:
             self._comm_path = ctx.system.comm_path_for_ranks(self.group_ranks)
+        #: link-degradation gate, bound once (the Simulator installs the
+        #: schedule on the SystemSpec before any rank runs); False keeps
+        #: the healthy hot path free of extra float ops
+        self._link_faults = getattr(ctx.system, "link_degradation", None) is not None
 
     # ------------------------------------------------------------------
     # introspection (Listing 1 head)
@@ -748,11 +778,148 @@ class MCRCommunicator:
         choice = None
         if self.tuning_table is not None:
             choice = self.tuning_table.lookup(family.value, self.world_size, nbytes)
-            if choice is not None and canonical_name(choice) not in self.backends:
-                choice = None  # tuned for a backend we did not init
+            if choice is not None:
+                canon = canonical_name(choice)
+                if canon not in self.backends or canon in self._quarantined:
+                    choice = None  # tuned for a backend we did not init
+                    # (or one quarantined by a permanent fault)
         if choice is None:
             choice = self.config.fallback_backend or next(iter(self.backends))
         return self._backend(choice)
+
+    # -- fault handling (retry / quarantine / failover) -------------------
+    #
+    # Every decision below is a deterministic function of per-scope op
+    # counters, so in an SPMD program all ranks of a group make identical
+    # choices and rendezvous keys stay matched even in degraded mode —
+    # the deadlock-freedom claim of §V-D extended to failures:
+    #
+    # * collectives count per (communicator, backend); every group rank
+    #   posts the same Nth collective, so transient retries and permanent
+    #   quarantines happen at the same logical op everywhere;
+    # * p2p counts per directed channel (backend, src, dst, tag); the
+    #   matched sender and receiver observe equal indices.  p2p never
+    #   triggers quarantine — third-party ranks could not observe it
+    #   symmetrically — it reroutes the single op instead.
+
+    def _record_fault(self, kind: str, backend_name: str, detail: str = "") -> None:
+        if self._fault_log is not None:
+            self._fault_log.log_event(
+                kind, self.ctx.rank, backend_name, self.ctx.now, detail
+            )
+
+    def _quarantine(self, backend: Backend, reason: str) -> None:
+        if backend.name in self._quarantined:
+            return
+        self._quarantined.add(backend.name)
+        backend.fail(reason)
+        self._record_fault("quarantine", backend.name, reason)
+        if len(self._quarantined) == len(self.backends):
+            raise BackendError(
+                f"all backends permanently failed: {sorted(self._quarantined)}"
+            )
+
+    def _failover_target(
+        self, family: OpFamily, nbytes: int, exclude: frozenset = frozenset()
+    ) -> Backend:
+        """Deterministic survivor choice: tuning table, then the
+        configured fallback, then init order (§V-F dispatch, restricted
+        to live backends)."""
+        survivors = [
+            n
+            for n in self.backends
+            if n not in self._quarantined and n not in exclude
+        ]
+        if not survivors:
+            raise BackendError(
+                f"no surviving backend for {family.value}: "
+                f"quarantined {sorted(self._quarantined)}"
+            )
+        choice = None
+        if self.tuning_table is not None:
+            tuned = self.tuning_table.lookup(family.value, self.world_size, nbytes)
+            if tuned is not None and canonical_name(tuned) in survivors:
+                choice = canonical_name(tuned)
+        if choice is None:
+            fb = self.config.fallback_backend
+            if fb is not None and canonical_name(fb) in survivors:
+                choice = canonical_name(fb)
+        if choice is None:
+            choice = survivors[0]
+        return self.backends[choice]
+
+    def _admit_backend(
+        self,
+        backend: Backend,
+        family: OpFamily,
+        nbytes: int,
+        p2p_channel: Optional[tuple] = None,
+    ) -> Backend:
+        """Fault gate for one dispatch: consult the injector, retry
+        transient faults with exponential backoff, quarantine and fail
+        over on permanent ones.  Returns the backend that actually runs
+        the operation."""
+        inj = self._injector
+        ctx = self.ctx
+        cfg = self.config
+        hops = 0
+        while True:
+            if backend.name in self._quarantined:
+                old = backend.name
+                backend = self._failover_target(family, nbytes)
+                self._record_fault("failover", old, f"-> {backend.name}")
+                continue
+            if inj is None:
+                return backend
+            if hops > 3 * len(self.backends):  # pragma: no cover - safety valve
+                raise BackendError(
+                    f"fault failover did not converge for {family.value}"
+                )
+            scope = (
+                ("p2p", backend.name, *p2p_channel)
+                if p2p_channel is not None
+                else ("coll", backend.name)
+            )
+            idx = self._fault_counters.get(scope, 0) + 1
+            self._fault_counters[scope] = idx
+            fault = inj.backend_fault(
+                self.comm_id, backend.name, idx, p2p=p2p_channel is not None
+            )
+            if fault is None:
+                return backend
+            if fault.kind == "transient":
+                attempts = min(fault.fail_attempts, cfg.comm_max_retries)
+                for attempt in range(attempts):
+                    self._record_fault(
+                        "retry",
+                        backend.name,
+                        f"op {idx} attempt {attempt + 1}/{cfg.comm_max_retries}",
+                    )
+                    ctx.sleep(
+                        cfg.retry_backoff_us * (2.0 ** attempt),
+                        reason=f"retry({backend.name})",
+                    )
+                if fault.fail_attempts <= cfg.comm_max_retries:
+                    return backend  # cleared within the retry budget
+                if p2p_channel is None:
+                    # a collective that cannot clear its transient fault
+                    # within the retry budget is treated as a permanent
+                    # library failure (symmetric: same decision everywhere)
+                    self._quarantine(
+                        backend, f"transient fault persisted past {attempts} retries"
+                    )
+                    continue
+                # p2p: reroute this one op, no global quarantine
+                old = backend.name
+                backend = self._failover_target(
+                    family, nbytes, exclude=frozenset((backend.name,))
+                )
+                self._record_fault("failover", old, f"-> {backend.name} (p2p reroute)")
+                hops += 1
+                continue
+            # permanent
+            self._quarantine(backend, f"permanent fault at op {idx}")
+            # loop re-enters the quarantined branch and fails over
 
     def _op_label(self, op, backend_name: str) -> tuple[str, str]:
         """Cached ``(label, dispatch reason)`` for one (op, backend) pair."""
@@ -804,6 +971,8 @@ class MCRCommunicator:
             raise MCRError("communicator already finalized")
         ctx = self.ctx
         backend = self._resolve_backend(backend_name, family, nbytes)
+        if self._fault_gate or self._quarantined:
+            backend = self._admit_backend(backend, family, nbytes)
         label, dispatch_reason = self._op_label(family, backend.name)
 
         # host dispatch: thin Python layer + backend call overhead (C3)
@@ -898,6 +1067,13 @@ class MCRCommunicator:
                 nonblocking=async_op,
             )
             duration *= 1.0 + self.config.dispatch_fraction
+            if self._link_faults:
+                # degraded/flapping fabric window (repro.sim.faults):
+                # decided once, by the resolving rank, at the transfer's
+                # start time — per-rank clocks cannot split the decision
+                duration *= ctx.system.link_time_factor(
+                    max(a.host_time for a in rdv.arrivals.values())
+                )
             duration += codec_us
             if self.config.force_host_staging:
                 # Listing-2 style device->host->device copies around the op
@@ -960,10 +1136,15 @@ class MCRCommunicator:
             and self.config.synchronization != "naive"
         )
         self._log_on_flag(family, backend, nbytes, rdv.flag, async_op, rdv)
+        deadline_us = self.config.op_deadline_us
         if async_op:
             handle = WorkHandle(
                 ctx, backend.name, rdv.flag, member_node,
                 stream_semantics=stream_semantics, label=label,
+                deadline_us=deadline_us,
+                timeout_info=(
+                    self._timeout_info(label, rdv) if deadline_us is not None else None
+                ),
             )
             self._outstanding[backend.name].append(handle)
             return handle
@@ -971,15 +1152,57 @@ class MCRCommunicator:
         if stream_semantics and member_node is not None:
             ctx.gpu.default_stream._gates.append(member_node)
         else:
-            flag = rdv.flag
-            if flag.ready_time is None:
-                ctx.engine.wait_flag(flag, reason=f"wait({label})")
-            else:
-                ctx.engine.wait_flag(flag, reason=label)
+            self._await_flag(rdv.flag, label, rdv, deadline_us)
         if self.config.synchronization == "naive":
             # naive scheme additionally host-blocks (Fig. 4a)
             ctx.engine.wait_flag(rdv.flag, reason=label)
         return None
+
+    def _await_flag(
+        self,
+        flag: Flag,
+        label: str,
+        rdv: Optional[_Rendezvous],
+        deadline_us: Optional[float],
+    ) -> None:
+        """Host-block on a completion flag, honoring the per-op deadline."""
+        ctx = self.ctx
+        if deadline_us is None:
+            if flag.ready_time is None:
+                ctx.engine.wait_flag(flag, reason=f"wait({label})")
+            else:
+                ctx.engine.wait_flag(flag, reason=label)
+            return
+        if not ctx.engine.wait_flag_deadline(
+            flag, ctx.now + deadline_us, reason=f"wait({label})"
+        ):
+            detail = self._timeout_info(label, rdv)()
+            raise CommTimeoutError(
+                f"{label} exceeded the {deadline_us:.0f}us deadline on rank "
+                f"{ctx.rank}: {detail}",
+                label=label,
+                rank=ctx.rank,
+                deadline_us=deadline_us,
+                detail=detail,
+            )
+
+    def _timeout_info(self, label: str, rdv: Optional[_Rendezvous]):
+        """Deferred per-rank diagnostics for a CommTimeoutError: evaluated
+        at timeout time, when the rendezvous shows who never arrived."""
+
+        def info() -> str:
+            if rdv is None:
+                return "operation still pending"
+            arrived = sorted(rdv.arrivals)
+            missing = [r for r in self.group_ranks if r not in rdv.arrivals]
+            if missing:
+                posted = ", ".join(
+                    f"rank {r}@{rdv.arrivals[r].host_time:.1f}us" for r in arrived
+                )
+                return f"ranks {missing} never posted {label} (arrived: {posted})"
+            return "all ranks arrived; transfer still in flight"
+
+        return info
 
     def _alltoallv_critical_bytes(self, rdv: _Rendezvous) -> int:
         """Heaviest per-rank send or receive volume of an alltoallv."""
@@ -1022,12 +1245,16 @@ class MCRCommunicator:
         if peer_global == ctx.rank:
             raise ValidationError("p2p with self is not supported")
         backend = self._resolve_backend(backend_name, OpFamily.P2P, tensor.nbytes())
+        src, dst = (ctx.rank, peer_global) if is_send else (peer_global, ctx.rank)
+        if self._fault_gate or self._quarantined:
+            backend = self._admit_backend(
+                backend, OpFamily.P2P, tensor.nbytes(), p2p_channel=(src, dst, tag)
+            )
         label, dispatch_reason = self._op_label(
             "send" if is_send else "recv", backend.name
         )
         ctx.sleep(self._dispatch_cost(backend), reason=dispatch_reason)
 
-        src, dst = (ctx.rank, peer_global) if is_send else (peer_global, ctx.rank)
         chan = self._shared["p2p"][(backend.name, src, dst, tag)]
         mine, theirs = ("sends", "recvs") if is_send else ("recvs", "sends")
         buf = self._flat(tensor)
@@ -1043,7 +1270,10 @@ class MCRCommunicator:
             cost = backend.p2p_cost_us(
                 tensor.nbytes(), ctx.system.same_node(src, dst)
             ) * (1.0 + self.config.dispatch_fraction)
-            end = max(ctx.now, other_time) + cost
+            start = max(ctx.now, other_time)
+            if self._link_faults:
+                cost *= ctx.system.link_time_factor(start)
+            end = start + cost
             if not timing_only:
                 recv_buf[:] = send_buf
             if not flag.is_set:  # eager sends fire their flag at post time
@@ -1066,7 +1296,10 @@ class MCRCommunicator:
                         end=end,
                         async_op=async_op,
                     )
-            handle = WorkHandle(ctx, backend.name, flag, None, False, label)
+            handle = WorkHandle(
+                ctx, backend.name, flag, None, False, label,
+                deadline_us=self.config.op_deadline_us,
+            )
         else:
             flag = ctx.new_flag(label)
             if is_send and tensor.nbytes() <= self.config.eager_threshold:
@@ -1076,7 +1309,10 @@ class MCRCommunicator:
                     buf = buf.copy()
                 flag.fire(ctx.now)
             chan[mine].append((buf, ctx.now, flag, tensor.is_virtual))
-            handle = WorkHandle(ctx, backend.name, flag, None, False, label)
+            handle = WorkHandle(
+                ctx, backend.name, flag, None, False, label,
+                deadline_us=self.config.op_deadline_us,
+            )
 
         if async_op:
             self._outstanding[backend.name].append(handle)

@@ -78,6 +78,16 @@ class MCRConfig:
     #: matches; None = first initialized backend
     fallback_backend: Optional[str] = None
 
+    #: per-operation deadline, µs: a host-blocking wait (sync op, handle
+    #: wait/synchronize) that exceeds it raises CommTimeoutError with
+    #: per-rank rendezvous diagnostics instead of hanging; None disables
+    op_deadline_us: Optional[float] = None
+    #: dispatch attempts after the first for a transiently failing
+    #: backend before the op fails over to a survivor
+    comm_max_retries: int = 3
+    #: base backoff between retry attempts, µs (doubles per attempt)
+    retry_backoff_us: float = 50.0
+
     #: stage every tensor through host memory around each operation —
     #: the pre-CUDA-aware mpi4py pattern of the paper's Listing 2
     #: (cupy -> numpy -> MPI -> numpy -> cupy); used by the mpi4py
@@ -93,3 +103,9 @@ class MCRConfig:
             raise ValueError("streams_per_backend must be >= 1")
         if not 0 <= self.dispatch_fraction < 1:
             raise ValueError("dispatch_fraction must be in [0, 1)")
+        if self.op_deadline_us is not None and self.op_deadline_us <= 0:
+            raise ValueError("op_deadline_us must be positive (or None)")
+        if self.comm_max_retries < 0:
+            raise ValueError("comm_max_retries must be >= 0")
+        if self.retry_backoff_us < 0:
+            raise ValueError("retry_backoff_us must be >= 0")

@@ -21,6 +21,32 @@ class ValidationError(MCRError):
     """
 
 
+class CommTimeoutError(MCRError):
+    """A communication operation exceeded its configured deadline
+    (``MCRConfig.op_deadline_us``).
+
+    Carries per-rank diagnostics: which rank timed out, on which
+    operation, and — when known — which peers had (not) arrived at the
+    rendezvous, so a hung collective points at the culprit instead of
+    surfacing as a generic deadlock.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        label: str = "",
+        rank: int = -1,
+        deadline_us: float = 0.0,
+        detail: str = "",
+    ):
+        super().__init__(message)
+        self.label = label
+        self.rank = rank
+        self.deadline_us = deadline_us
+        self.detail = detail
+
+
 class TuningError(MCRError):
     """Tuning-table lookup or construction failure."""
 

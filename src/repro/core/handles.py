@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from repro.core.exceptions import MCRError
+from repro.core.exceptions import CommTimeoutError, MCRError
 from repro.sim.engine import Flag
 from repro.sim.graph import GpuOp
 
@@ -30,7 +30,17 @@ if TYPE_CHECKING:  # pragma: no cover
 class WorkHandle:
     """Completion handle for one posted communication operation."""
 
-    __slots__ = ("ctx", "backend_name", "flag", "member_node", "stream_semantics", "label", "_waited")
+    __slots__ = (
+        "ctx",
+        "backend_name",
+        "flag",
+        "member_node",
+        "stream_semantics",
+        "label",
+        "deadline_us",
+        "timeout_info",
+        "_waited",
+    )
 
     def __init__(
         self,
@@ -40,6 +50,9 @@ class WorkHandle:
         member_node: Optional[GpuOp],
         stream_semantics: bool,
         label: str,
+        *,
+        deadline_us: Optional[float] = None,
+        timeout_info=None,
     ):
         self.ctx = ctx
         self.backend_name = backend_name
@@ -47,6 +60,11 @@ class WorkHandle:
         self.member_node = member_node
         self.stream_semantics = stream_semantics
         self.label = label
+        #: per-op deadline (MCRConfig.op_deadline_us): host-blocking waits
+        #: that exceed it raise CommTimeoutError instead of hanging
+        self.deadline_us = deadline_us
+        #: zero-arg callable producing rendezvous diagnostics at timeout
+        self.timeout_info = timeout_info
         self._waited = False
 
     def wait(self, backend: Optional[str] = None) -> None:
@@ -69,18 +87,37 @@ class WorkHandle:
             return
         # host-synchronized (MPI_Wait); the decorated reason is only worth
         # building when the flag is still pending (it can actually park)
-        flag = self.flag
-        if flag.ready_time is None:
-            self.ctx.engine.wait_flag(flag, reason=f"wait({self.label})")
-        else:
-            self.ctx.engine.wait_flag(flag, reason=self.label)
+        self._host_block("wait")
 
     def synchronize(self) -> None:
         """Block the *host* until the operation completes."""
         self._waited = True
+        self._host_block("synchronize")
+
+    def _host_block(self, verb: str) -> None:
         flag = self.flag
         if flag.ready_time is None:
-            self.ctx.engine.wait_flag(flag, reason=f"synchronize({self.label})")
+            if self.deadline_us is not None:
+                ctx = self.ctx
+                if not ctx.engine.wait_flag_deadline(
+                    flag, ctx.now + self.deadline_us, reason=f"{verb}({self.label})"
+                ):
+                    detail = (
+                        self.timeout_info()
+                        if self.timeout_info is not None
+                        else "operation still pending"
+                    )
+                    raise CommTimeoutError(
+                        f"{self.label} on {self.backend_name} exceeded the "
+                        f"{self.deadline_us:.0f}us deadline on rank {ctx.rank}: "
+                        f"{detail}",
+                        label=self.label,
+                        rank=ctx.rank,
+                        deadline_us=self.deadline_us,
+                        detail=detail,
+                    )
+                return
+            self.ctx.engine.wait_flag(flag, reason=f"{verb}({self.label})")
         else:
             self.ctx.engine.wait_flag(flag, reason=self.label)
 

@@ -15,7 +15,7 @@ handled according to the configured stream mode:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
 from repro.backends.base import Backend
 from repro.core.config import MCRConfig
@@ -118,21 +118,38 @@ class SyncManager:
         # host-synchronized backends complete at their wait()s; any
         # outstanding requests are tracked and drained by the communicator.
 
-    def least_busy_backend(self, names: list[str]) -> str:
-        """Pick the backend whose comm streams are least loaded — used by
+    def least_busy_backend(
+        self, names: list[str], outstanding: Optional[dict] = None
+    ) -> str:
+        """Pick the backend whose pending work is least loaded — used by
         the tensor-fusion timeout flush (§V-E) to overlap across
-        backends' fusion buffers."""
+        backends' fusion buffers.
+
+        Stream-pool backends are measured by their streams' remaining
+        tail time.  Host-synchronized backends have no pool; their load
+        comes from the communicator's ``outstanding`` handle lists (the
+        un-waited ``MPI_Request``s) — without that term they would always
+        report 0.0 and soak up every flush.
+        """
+        now = self.ctx.now
+
         def load(name: str) -> float:
-            pool = self.pools.get(name)
-            if pool is None:
-                return 0.0
             total = 0.0
-            for stream in pool.streams:
-                node = stream.last
-                if node is not None and node.resolved:
-                    total += max(0.0, node.end - self.ctx.now)
-                elif node is not None:
-                    total += 1e9  # unresolved: effectively busy
+            pool = self.pools.get(name)
+            if pool is not None:
+                for stream in pool.streams:
+                    node = stream.last
+                    if node is not None and node.resolved:
+                        total += max(0.0, node.end - now)
+                    elif node is not None:
+                        total += 1e9  # unresolved: effectively busy
+            elif outstanding:
+                for handle in outstanding.get(name, ()):
+                    ready = handle.flag.ready_time
+                    if ready is None:
+                        total += 1e9  # pending request, completion unknown
+                    else:
+                        total += max(0.0, ready - now)
             return total
 
         return min(names, key=load)

@@ -62,6 +62,21 @@ class FusedHandle:
 
     def wait(self, backend: Optional[str] = None) -> None:
         self._ensure_flushed()
+        if backend is not None:
+            # validate like WorkHandle.wait, but tolerate the §V-E
+            # cross-backend reroute: a timeout/boundary flush may run on
+            # a different backend than the one the tensor was posted to,
+            # so both the posted name and the actual one are accepted
+            from repro.backends.base import canonical_name
+
+            requested = canonical_name(backend)
+            posted = canonical_name(self._bucket_key[0])
+            actual = self._inner.backend_name
+            if requested not in (posted, actual):
+                raise MCRError(
+                    f"fused handle belongs to backend {posted!r} "
+                    f"(flushed on {actual!r}), wait called with {backend!r}"
+                )
         self._inner.wait()
 
     def synchronize(self) -> None:
@@ -91,8 +106,20 @@ class TensorFusion:
         self.comm = comm
         self.config = config or FusionConfig()
         self._buckets: dict[tuple, _Bucket] = {}
-        #: statistics: flushes by trigger kind
-        self.stats = {"full_flushes": 0, "timeout_flushes": 0, "bypass": 0, "fused_tensors": 0}
+        # per-bucket flush sequence numbers: SPMD ranks flush the same
+        # buckets in the same order, so (key, seq) identifies "the same
+        # flush" across ranks for route coordination
+        self._flush_seq: dict[tuple, int] = {}
+        #: statistics: flushes by trigger kind (full = bucket reached B;
+        #: timeout = T expired; boundary = explicit flush below B, e.g.
+        #: at a step boundary)
+        self.stats = {
+            "full_flushes": 0,
+            "timeout_flushes": 0,
+            "boundary_flushes": 0,
+            "bypass": 0,
+            "fused_tensors": 0,
+        }
 
     # -- public API -----------------------------------------------------------
 
@@ -146,14 +173,29 @@ class TensorFusion:
     def _flush_bucket(self, key: tuple, bucket: _Bucket, timeout: bool) -> None:
         backend, op_value, _dtype = key
         op = ReduceOp(op_value)
+        seq = self._flush_seq.get(key, 0)
+        self._flush_seq[key] = seq + 1
+        below_b = bucket.nbytes < self.config.max_buffer_bytes
         if timeout:
             self.stats["timeout_flushes"] += 1
-            if self.config.cross_backend_overlap and len(self.comm.backends) > 1:
-                # below-B flush will not saturate bandwidth: overlap it with
-                # other backends' fusion buffers on the least busy one
-                backend = self.comm.sync.least_busy_backend(list(self.comm.backends))
+        elif below_b:
+            # explicit flush (step boundary) of a bucket that never
+            # filled: not a full flush — same character as a timeout
+            self.stats["boundary_flushes"] += 1
         else:
             self.stats["full_flushes"] += 1
+        if (
+            (timeout or below_b)
+            and self.config.cross_backend_overlap
+            and len(self.comm.backends) > 1
+        ):
+            # a below-B flush will not saturate bandwidth: overlap it with
+            # other backends' fusion buffers on the least busy one (§V-E).
+            # Stream occupancy is rank-local and ranks reach this point at
+            # different virtual times, so the choice must be coordinated:
+            # the first rank to flush (key, seq) decides from its own load
+            # and publishes the route; the other ranks follow it.
+            backend = self._route_flush(key, seq)
 
         tensors = bucket.tensors
         fused_tensor = cat(tensors)
@@ -178,6 +220,27 @@ class TensorFusion:
                 inner.flag.callbacks.append(copy_back)
         for handle in bucket.handles:
             handle._bind(inner)
+
+    def _route_flush(self, key: tuple, seq: int) -> str:
+        """Symmetric backend choice for one below-B flush.
+
+        First-flusher-decides (the coordinator pattern Horovod uses for
+        fusion ordering): the route table lives in the communicator's
+        cross-rank shared state, entries are dropped once every group
+        rank has read them.
+        """
+        routes = self.comm._shared.setdefault("fusion_routes", {})
+        entry = routes.get((key, seq))
+        if entry is None:
+            choice = self.comm.sync.least_busy_backend(
+                list(self.comm.backends), self.comm._outstanding
+            )
+            routes[(key, seq)] = [choice, 1]
+            return choice
+        entry[1] += 1
+        if entry[1] >= len(self.comm.group_ranks):
+            del routes[(key, seq)]
+        return entry[0]
 
     @property
     def pending_bytes(self) -> int:

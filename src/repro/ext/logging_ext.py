@@ -38,16 +38,36 @@ class CommRecord:
         return self.end - self.start
 
 
+@dataclass(slots=True)
+class FaultEvent:
+    """One fault-handling action (retry, failover, quarantine) on one
+    rank — the degraded-mode audit trail of the fault injector."""
+
+    kind: str
+    rank: int
+    backend: str
+    time_us: float
+    detail: str = ""
+
+
 class CommLogger:
     """Job-wide communication log (shared across all ranks)."""
 
-    def __init__(self) -> None:
+    def __init__(self, world_size: Optional[int] = None) -> None:
         self.records: list[CommRecord] = []
+        #: retry/failover/quarantine trail (fault injection)
+        self.events: list[FaultEvent] = []
+        #: job world size; per-job averages divide by it, not by however
+        #: many ranks happened to appear in the filtered records
+        self.world_size = world_size
 
     @classmethod
     def shared(cls, ctx: "RankContext") -> "CommLogger":
         """The per-job logger instance, created on first use."""
-        return ctx.shared.setdefault("comm_logger", cls())
+        logger = ctx.shared.setdefault("comm_logger", cls(ctx.world_size))
+        if logger.world_size is None:
+            logger.world_size = ctx.world_size
+        return logger
 
     def log(
         self,
@@ -67,10 +87,34 @@ class CommLogger:
         """Emit a record when ``flag`` fires (completion time unknown yet)."""
         flag.callbacks.append(emit)
 
+    # -- fault events (retry / failover / quarantine) -----------------------
+
+    def log_event(
+        self, kind: str, rank: int, backend: str, time_us: float, detail: str = ""
+    ) -> None:
+        self.events.append(FaultEvent(kind, rank, backend, time_us, detail))
+
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = defaultdict(int)
+        for e in self.events:
+            counts[e.kind] += 1
+        return dict(counts)
+
     # -- aggregation (Figures 1 & 12) ---------------------------------------
 
+    def _per_rank_divisor(self, observed: set) -> int:
+        # divide by the true world size: ranks that logged nothing for a
+        # given family/backend still count in a per-rank average (dividing
+        # by observed ranks only inflates the result).  Loggers built
+        # without a world size (direct construction) keep the observed-
+        # rank behavior.
+        if self.world_size is not None:
+            return self.world_size
+        return len(observed)
+
     def total_time_by_family(self, rank: Optional[int] = None) -> dict[str, float]:
-        """Summed durations per op family (one rank, or averaged over all)."""
+        """Summed durations per op family (one rank, or per-rank average
+        over the whole job)."""
         sums: dict[str, float] = defaultdict(float)
         counts_ranks = set()
         for r in self.records:
@@ -79,7 +123,8 @@ class CommLogger:
             sums[r.family] += r.duration
             counts_ranks.add(r.rank)
         if rank is None and counts_ranks:
-            return {k: v / len(counts_ranks) for k, v in sums.items()}
+            divisor = self._per_rank_divisor(counts_ranks)
+            return {k: v / divisor for k, v in sums.items()}
         return dict(sums)
 
     def total_time_by_backend(self, rank: Optional[int] = None) -> dict[str, float]:
@@ -91,7 +136,8 @@ class CommLogger:
             sums[r.backend] += r.duration
             ranks.add(r.rank)
         if rank is None and ranks:
-            return {k: v / len(ranks) for k, v in sums.items()}
+            divisor = self._per_rank_divisor(ranks)
+            return {k: v / divisor for k, v in sums.items()}
         return dict(sums)
 
     def op_counts(self) -> dict[str, int]:
@@ -108,3 +154,4 @@ class CommLogger:
 
     def clear(self) -> None:
         self.records.clear()
+        self.events.clear()

@@ -34,6 +34,9 @@ class TrainResult:
     #: average per-rank GPU busy time per step by tracer category (µs);
     #: empty unless tracing was enabled
     busy_by_category: dict = field(default_factory=dict)
+    #: fault-handling events during the measured steps, by kind
+    #: (retry/failover/quarantine); empty for a healthy run
+    fault_events: dict = field(default_factory=dict)
 
     @property
     def comm_time_us(self) -> float:
@@ -61,6 +64,7 @@ class Trainer:
         warmup: int = 1,
         fusion: Optional[FusionConfig] = None,
         trace: bool = False,
+        faults=None,
     ):
         if steps < 1:
             raise ValueError("need at least one measured step")
@@ -69,6 +73,8 @@ class Trainer:
         self.warmup = warmup
         self.fusion = fusion
         self.trace = trace
+        #: optional repro.sim.faults.FaultSpec injected into the run
+        self.faults = faults
 
     def run(
         self,
@@ -100,7 +106,9 @@ class Trainer:
             driver.finalize()
             return elapsed
 
-        sim = Simulator(world_size, system=self.system, trace=self.trace)
+        sim = Simulator(
+            world_size, system=self.system, trace=self.trace, faults=self.faults
+        )
         result: SimResult = sim.run(rank_main)
         elapsed_us = max(result.rank_results)
         step_time = elapsed_us / steps
@@ -108,6 +116,7 @@ class Trainer:
 
         comm_by_family: dict = {}
         comm_by_backend: dict = {}
+        fault_events: dict = {}
         shared_logger = result.shared.get("comm_logger")
         if shared_logger is not None:
             comm_by_family = {
@@ -116,6 +125,7 @@ class Trainer:
             comm_by_backend = {
                 k: v / steps for k, v in shared_logger.total_time_by_backend().items()
             }
+            fault_events = shared_logger.event_counts()
 
         busy: dict = {}
         if result.tracer is not None:
@@ -133,6 +143,7 @@ class Trainer:
             comm_by_family=comm_by_family,
             comm_by_backend=comm_by_backend,
             busy_by_category=busy,
+            fault_events=fault_events,
         )
 
 

@@ -25,8 +25,20 @@ from repro.sim.streams import GPU, Stream, CudaEvent
 from repro.sim.process import RankContext
 from repro.sim.trace import Tracer, TraceRecord
 from repro.sim.simulator import Simulator, SimResult
+from repro.sim.faults import (
+    BackendFault,
+    FaultInjector,
+    FaultSpec,
+    LinkFault,
+    LinkSchedule,
+)
 
 __all__ = [
+    "BackendFault",
+    "FaultInjector",
+    "FaultSpec",
+    "LinkFault",
+    "LinkSchedule",
     "SimError",
     "DeadlockError",
     "SimAborted",

@@ -111,6 +111,7 @@ class _Proc:
         "finished",
         "blocked_on",
         "result",
+        "epoch",
         "_kill_sent",
     )
 
@@ -123,6 +124,10 @@ class _Proc:
         self.finished = False
         self.blocked_on: Optional[str] = None
         self.result: object = None
+        #: dispatch generation; heap entries carry the epoch they were
+        #: scheduled under, and entries from an older epoch are skipped
+        #: (lazy cancellation — see wait_flag_deadline)
+        self.epoch = 0
         #: teardown wake already delivered (guards double-release in _fail)
         self._kill_sent = False
         self.thread = threading.Thread(target=self._body, name=f"sim-{name}", daemon=True)
@@ -165,7 +170,7 @@ class Engine:
 
     def __init__(self, max_events: int = 200_000_000):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, _Proc]] = []
+        self._heap: list[tuple[float, int, _Proc, int]] = []
         self._seq = itertools.count()
         self._procs: list[_Proc] = []
         self._failure: Optional[BaseException] = None
@@ -206,7 +211,7 @@ class Engine:
     #    thread, or by main before dispatch starts) --------------------
 
     def _schedule(self, time: float, proc: _Proc) -> None:
-        heappush(self._heap, (time, next(self._seq), proc))
+        heappush(self._heap, (time, next(self._seq), proc, proc.epoch))
 
     def _dispatch_next(self, parking: Optional[_Proc] = None) -> bool:
         """Hand the baton to the earliest scheduled process (or finish).
@@ -224,11 +229,17 @@ class Engine:
         if self._events_dispatched > self._max_events:
             self._fail(SimError(f"event budget exceeded ({self._max_events})"))
             return True
-        if self._heap:
-            time, _, proc = heappop(self._heap)
+        while self._heap:
+            time, _, proc, epoch = heappop(self._heap)
+            if epoch != proc.epoch:
+                # stale entry: the process was already woken through a
+                # different event (e.g. a flag fired before its deadline
+                # timer, or vice versa) — skip it.
+                continue
             if time > self.now:
                 self.now = time
             self._current = proc
+            proc.epoch += 1
             if proc is parking:
                 return True
             proc.wake.release()
@@ -306,6 +317,47 @@ class Engine:
         proc = self.current_proc()
         flag._waiters.append(proc)
         proc.park(reason or flag.label)
+
+    def wait_flag_deadline(
+        self, flag: Flag, deadline: float, reason: Optional[str] = None
+    ) -> bool:
+        """Block until ``flag`` fires or virtual ``deadline`` passes.
+
+        Returns True when the flag completed at or before ``deadline``
+        (the caller resumes at the usual wake time); returns False on
+        timeout (the caller resumes at ``deadline`` and is no longer
+        registered as a waiter, so a later fire cannot wake it).
+
+        Implemented with *two* heap entries — the deadline timer and the
+        eventual flag wake — relying on epoch-based lazy cancellation in
+        :meth:`_dispatch_next` to discard whichever loses the race.
+        """
+        ready = flag.ready_time
+        if ready is not None:
+            if ready <= deadline:
+                if ready > self.now:
+                    self.wait_until(ready, reason or flag.label)
+                return True
+            if deadline > self.now:
+                self.wait_until(deadline, reason or flag.label)
+            return False
+        if deadline <= self.now:
+            return False
+        proc = self.current_proc()
+        flag._waiters.append(proc)
+        self._schedule(deadline, proc)
+        proc.park(reason or flag.label)
+        ready = flag.ready_time
+        if ready is not None and ready <= deadline:
+            return True
+        # timed out (or the flag fired past the deadline): deregister so
+        # a later fire cannot deliver a spurious wake into an unrelated
+        # park of this process.
+        try:
+            flag._waiters.remove(proc)
+        except ValueError:
+            pass
+        return False
 
     def new_flag(self, label: str = "flag") -> Flag:
         return Flag(self, label)

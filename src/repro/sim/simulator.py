@@ -55,6 +55,14 @@ class Simulator:
         seed: base RNG seed, combined with the rank for per-rank streams.
         kernel_launch_overhead_us: host cost of each kernel launch.
         max_events: engine safety valve against runaway simulations.
+        stragglers: explicit {rank: compute slowdown factor} map.
+        faults: a :class:`repro.sim.faults.FaultSpec`; its stragglers
+            merge with the explicit map (explicit wins), its backend and
+            link faults are injected deterministically via a
+            :class:`~repro.sim.faults.FaultInjector` installed into the
+            job's shared state.  None (the default) adds no fault
+            machinery at all — simulated timings are bit-identical to a
+            Simulator built without the argument.
     """
 
     def __init__(
@@ -66,6 +74,7 @@ class Simulator:
         kernel_launch_overhead_us: float = 4.0,
         max_events: int = 200_000_000,
         stragglers: "dict[int, float] | None" = None,
+        faults: Any = None,
     ):
         if system is None:
             from repro.cluster import generic_cluster
@@ -78,8 +87,13 @@ class Simulator:
         self.seed = seed
         self.kernel_launch_overhead_us = kernel_launch_overhead_us
         self.max_events = max_events
+        self.faults = faults
         #: {rank: compute slowdown factor}; ranks not listed run at 1.0
         self.stragglers = dict(stragglers or {})
+        if faults is not None:
+            faults.validate()
+            for rank, factor in faults.straggler_map(world_size).items():
+                self.stragglers.setdefault(rank, factor)
         for rank, factor in self.stragglers.items():
             if not 0 <= rank < world_size:
                 raise ValueError(f"straggler rank {rank} out of range")
@@ -95,6 +109,14 @@ class Simulator:
         engine = Engine(max_events=self.max_events)
         tracer = Tracer() if self.trace else None
         shared: dict = {"stats": {}}
+        injector = None
+        if self.faults is not None and (
+            self.faults.backend_faults or self.faults.link_faults
+        ):
+            from repro.sim.faults import FaultInjector
+
+            injector = FaultInjector(self.faults)
+            shared["fault_injector"] = injector
         contexts = []
         for rank in range(self.world_size):
             gpu = GPU(
@@ -137,7 +159,17 @@ class Simulator:
 
         for ctx in contexts:
             engine.add_process(f"rank{ctx.rank}", make_body(ctx))
-        elapsed = engine.run()
+        if injector is not None and injector.link_schedule is not None:
+            # hook the degradation window onto the topology for the run;
+            # restored afterwards so a shared SystemSpec stays clean
+            prior = getattr(self.system, "link_degradation", None)
+            self.system.link_degradation = injector.link_schedule
+            try:
+                elapsed = engine.run()
+            finally:
+                self.system.link_degradation = prior
+        else:
+            elapsed = engine.run()
         return SimResult(
             elapsed_us=elapsed,
             rank_results=results,

@@ -87,6 +87,23 @@ class TestTrain:
         with pytest.raises(SystemExit, match="requires --table"):
             main(["train", "--plan", "tuned"])
 
+    def test_train_with_faults_reports_events(self, capsys):
+        rc = main([
+            "train", "--model", "resnet50", "--system", "lassen",
+            "--world", "4", "--plan", "nccl", "--steps", "1", "--warmup", "0",
+            "--faults", "seed=7;backend=nccl:transient:prob=1.0",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fault_events"].get("retry", 0) > 0
+
+    def test_train_bad_faults_spec_rejected(self):
+        with pytest.raises(SystemExit, match="bad --faults spec"):
+            main([
+                "train", "--model", "resnet50", "--world", "4",
+                "--faults", "backend=nccl:transient:prob=2.0",
+            ])
+
     def test_train_tuned_with_table(self, tmp_path, capsys):
         table = tmp_path / "t.json"
         main([

@@ -110,6 +110,26 @@ class TestStreamPoolPolicy:
 
         assert Simulator(2).run(main).rank_results[0] == "msccl"
 
+    def test_least_busy_counts_poolless_outstanding(self):
+        """Host-synchronized backends without a stream pool must report
+        their pending requests as load, not a constant 0.0 (which made
+        them soak up every timeout flush)."""
+
+        def main(ctx):
+            config = MCRConfig(mpi_stream_mode="mpi-managed")
+            comm = MCRCommunicator(ctx, ["mvapich2-gdr", "nccl"], config=config)
+            h = comm.all_reduce(
+                "mvapich2-gdr", ctx.virtual_tensor(8 << 20), async_op=True
+            )
+            choice = comm.sync.least_busy_backend(
+                ["mvapich2-gdr", "nccl"], comm._outstanding
+            )
+            h.wait()
+            comm.finalize()
+            return choice
+
+        assert Simulator(2).run(main).rank_results == ["nccl", "nccl"]
+
     def test_naive_mode_has_no_pools_in_use(self):
         def main(ctx):
             config = MCRConfig(synchronization="naive")

@@ -48,6 +48,21 @@ class TestCorrectness:
 
         assert spmd(2, fn) == [2.0, 2.0]
 
+    def test_wait_validates_backend_name(self):
+        from repro.core.exceptions import MCRError
+
+        def fn(ctx, comm, fusion):
+            h = fusion.all_reduce("nccl", ctx.ones(4))
+            fusion.flush_all()
+            h.wait(backend="nccl")  # the posted backend is always valid
+            h2 = fusion.all_reduce("nccl", ctx.ones(4))
+            fusion.flush_all()
+            with pytest.raises(MCRError, match="fused handle belongs"):
+                h2.wait(backend="gloo")
+            return True
+
+        assert spmd(2, fn) == [True, True]
+
     def test_different_dtypes_not_fused_together(self):
         from repro.tensor import int64
 
@@ -91,6 +106,17 @@ class TestBufferPolicy:
 
         assert spmd(2, fn)[0] == 1
 
+    def test_step_boundary_flush_counted_separately(self):
+        def fn(ctx, comm, fusion):
+            fusion.all_reduce("nccl", ctx.zeros(8))
+            fusion.flush_all()  # below B and no timeout: a boundary flush
+            return dict(fusion.stats)
+
+        stats = spmd(2, fn)[0]
+        assert stats["boundary_flushes"] == 1
+        assert stats["full_flushes"] == 0
+        assert stats["timeout_flushes"] == 0
+
     def test_fused_tensor_count_tracked(self):
         def fn(ctx, comm, fusion):
             for _ in range(5):
@@ -122,6 +148,52 @@ class TestCrossBackendOverlap:
         res = Simulator(2, trace=True).run(main)
         comm_labels = {r.label for r in res.tracer.filter(rank=0, category="comm")}
         assert any("msccl" in l for l in comm_labels)  # rerouted off NCCL
+
+    def test_boundary_flush_reroutes_and_stays_symmetric(self):
+        """A step-boundary flush below B takes the same least-busy
+        reroute as a timeout flush — and every rank must land on the
+        same target (the first flusher's choice is shared; per-rank
+        choices would post mismatched collectives and deadlock)."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "msccl"])
+            fusion = TensorFusion(
+                comm,
+                FusionConfig(max_buffer_bytes=1 << 30, max_wait_us=1e9),
+            )
+            comm.all_reduce("nccl", ctx.virtual_tensor(8 << 20), async_op=True)
+            fusion.all_reduce("nccl", ctx.zeros(8))
+            fusion.flush_all()
+            comm.finalize()
+            return dict(fusion.stats)
+
+        res = Simulator(2, trace=True).run(main)
+        comm_labels = {r.label for r in res.tracer.filter(rank=0, category="comm")}
+        assert any("msccl" in l for l in comm_labels)
+        assert res.rank_results[0]["boundary_flushes"] == 1
+
+    def test_wait_tolerates_cross_backend_reroute(self):
+        """After a timeout reroute, wait(backend=...) accepts both the
+        posted backend and the one the flush actually ran on."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "msccl"])
+            fusion = TensorFusion(
+                comm,
+                FusionConfig(max_buffer_bytes=1 << 30, max_wait_us=10.0),
+            )
+            comm.all_reduce("nccl", ctx.virtual_tensor(8 << 20), async_op=True)
+            h = fusion.all_reduce("nccl", ctx.zeros(8))
+            ctx.sleep(50.0)
+            fusion.all_reduce("nccl", ctx.zeros(8))  # timeout-flushes h
+            h.wait(backend="nccl")
+            actual = h._inner.backend_name
+            h.wait(backend=actual)
+            fusion.flush_all()
+            comm.finalize()
+            return actual
+
+        assert Simulator(2).run(main).rank_results[0] == "msccl"
 
     def test_overlap_disabled_keeps_backend(self):
         def main(ctx):

@@ -111,3 +111,31 @@ class TestAggregation:
         logger = self.make_logger()
         logger.clear()
         assert logger.records == []
+        assert logger.events == []
+
+
+class TestPerRankAverages:
+    def test_shared_logger_records_world_size(self):
+        logger = run_logged(
+            lambda ctx, comm: comm.all_reduce("nccl", ctx.zeros(16)), world=3
+        )
+        assert logger.world_size == 3
+
+    def test_average_divides_by_world_size_not_observed_ranks(self):
+        """Ranks that logged nothing for a family still count in the
+        per-rank average; dividing by observed ranks inflated it."""
+        from repro.ext.logging_ext import CommLogger
+
+        logger = CommLogger(world_size=4)
+        logger.log(0, "p2p", "nccl", 64, 0.0, 10.0, False)
+        logger.log(1, "p2p", "nccl", 64, 0.0, 10.0, False)
+        assert logger.total_time_by_family()["p2p"] == pytest.approx(5.0)
+        assert logger.total_time_by_backend()["nccl"] == pytest.approx(5.0)
+
+    def test_direct_construction_keeps_observed_rank_fallback(self):
+        from repro.ext.logging_ext import CommLogger
+
+        logger = CommLogger()
+        logger.log(0, "p2p", "nccl", 64, 0.0, 10.0, False)
+        logger.log(1, "p2p", "nccl", 64, 0.0, 10.0, False)
+        assert logger.total_time_by_family()["p2p"] == pytest.approx(10.0)

@@ -1,0 +1,40 @@
+"""Tier-1 wrapper around ``scripts/perfgate.py``.
+
+The perf gate's fingerprint check is the contract that fault-injection
+gates (and any other runtime change) leave healthy-path simulated
+timings bit-identical to the committed baseline.  Running it from the
+test suite means a fingerprint drift fails CI, not just the optional
+perf workflow.  Wall-clock tolerance is set huge: shared CI machines
+are noisy and the wall check already has its own dedicated harness.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+PERFGATE = REPO / "scripts" / "perfgate.py"
+BASELINE = REPO / "BENCH_simulator.json"
+
+
+def load_perfgate():
+    spec = importlib.util.spec_from_file_location("perfgate", PERFGATE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.skipif(not BASELINE.exists(), reason="no committed baseline")
+def test_simulated_fingerprints_match_committed_baseline():
+    perfgate = load_perfgate()
+    rc = perfgate.main(
+        ["--baseline", str(BASELINE), "--repeats", "1", "--tolerance", "1000"]
+    )
+    assert rc == 0
+
+
+def test_missing_baseline_is_unusable_not_a_pass(tmp_path):
+    perfgate = load_perfgate()
+    missing = tmp_path / "does_not_exist.json"
+    assert perfgate.main(["--baseline", str(missing)]) == 2
