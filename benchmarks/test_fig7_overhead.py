@@ -8,7 +8,12 @@ and ~1% for large; PyTorch-distributed pays ~18% and ~4%.
 import pytest
 
 from repro.backends.ops import OpFamily
-from repro.bench.microbench import framework_latency_us, omb_latency_us, overhead_pct
+from repro.bench.microbench import (
+    effective_nbytes,
+    framework_latency_us,
+    omb_latency_us,
+    overhead_pct,
+)
 from repro.bench.reporting import Report
 from repro.core import MCRConfig
 from repro.frameworks.torch_dist import (
@@ -32,7 +37,9 @@ def torch_config() -> MCRConfig:
 def run_sweep(system):
     rows = []
     for pair_size in PAIR_SIZES:
-        total = pair_size * WORLD
+        # one effective payload feeds both sides of the comparison (the
+        # framework rounds element counts to a multiple of world size)
+        total = effective_nbytes(pair_size * WORLD, WORLD)
         omb = omb_latency_us(system, BACKEND, OpFamily.ALLTOALL, total, WORLD)
         mcr = framework_latency_us(
             system, BACKEND, OpFamily.ALLTOALL, total, WORLD, config=MCRConfig()

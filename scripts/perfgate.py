@@ -12,6 +12,12 @@ compares them against the ``after`` side of the committed
 * **simulated fingerprints** (``sim_*`` metrics): any difference fails
   unconditionally — wall-clock noise is expected, timing-semantics
   drift never is.
+* **observability budget**: the ``obs_overhead`` scenario reports the
+  simulated step-time delta between an uninstrumented and a fully
+  instrumented (trace + metrics) run; more than ``--obs-budget-pct``
+  (default 5%, the paper's C3 overhead budget) fails the gate.  It is
+  run even when absent from the baseline so older baselines still gate
+  the budget.
 
 Usage::
 
@@ -35,6 +41,9 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.bench import perfregress  # noqa: E402
 
+#: scenario whose fingerprint carries the instrumented-path overhead
+OBS_SCENARIO = "obs_overhead"
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -45,6 +54,7 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.20)
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--min-wall-s", type=float, default=0.02)
+    parser.add_argument("--obs-budget-pct", type=float, default=5.0)
     args = parser.parse_args(argv)
 
     data = perfregress.load(args.baseline)
@@ -53,17 +63,23 @@ def main(argv=None) -> int:
         print(f"perfgate: no 'after' baseline in {args.baseline}", file=sys.stderr)
         return 2
 
-    fresh = perfregress.run_scenarios(
-        sorted(set(baseline) & set(perfregress.SCENARIOS)),
-        repeats=args.repeats,
-        progress=print,
-    )
+    chosen = set(baseline) & set(perfregress.SCENARIOS)
+    if OBS_SCENARIO in perfregress.SCENARIOS:
+        chosen.add(OBS_SCENARIO)  # budget-gated even without a baseline
+    fresh = perfregress.run_scenarios(sorted(chosen), repeats=args.repeats, progress=print)
 
     failures = []
     print(f"\n{'scenario':<18} {'baseline':>10} {'now':>10} {'ratio':>7}  verdict")
     print("-" * 60)
     for name in sorted(fresh):
-        base, cur = baseline[name], fresh[name]
+        cur = fresh[name]
+        base = baseline.get(name)
+        if base is None:
+            print(
+                f"{name:<18} {'-':>10} {cur['wall_s']*1e3:9.1f}ms {'-':>7}  "
+                "ok (not in baseline)"
+            )
+            continue
         ratio = cur["wall_s"] / base["wall_s"] if base["wall_s"] > 0 else float("inf")
         verdict = "ok"
         if perfregress.fingerprint(base) != perfregress.fingerprint(cur):
@@ -80,6 +96,21 @@ def main(argv=None) -> int:
             f"{name:<18} {base['wall_s']*1e3:9.1f}ms {cur['wall_s']*1e3:9.1f}ms "
             f"{ratio:6.2f}x  {verdict}"
         )
+
+    obs = fresh.get(OBS_SCENARIO)
+    if obs is not None and "sim_overhead_pct" in obs:
+        pct = obs["sim_overhead_pct"]
+        if pct > args.obs_budget_pct:
+            failures.append(
+                f"{OBS_SCENARIO}: instrumented simulated step time "
+                f"+{pct:.2f}% exceeds the {args.obs_budget_pct:.1f}% budget"
+            )
+        else:
+            print(
+                f"\nobservability: instrumented simulated overhead {pct:+.3f}% "
+                f"(budget {args.obs_budget_pct:.1f}%, "
+                f"{obs.get('events_recorded', 0)} events recorded)"
+            )
 
     if failures:
         print("\nperfgate FAILED:", file=sys.stderr)

@@ -44,6 +44,23 @@ def omb_latency_us(
     return raw + backend.call_overhead_us()
 
 
+def effective_nbytes(nbytes: int, world_size: int) -> int:
+    """The byte count a framework measurement actually exercises.
+
+    Collective buffers hold float32 elements and must divide evenly by
+    the world size, so a requested ``nbytes`` is realized as the largest
+    element count ``<= nbytes // 4`` that is a multiple of
+    ``world_size`` (at least one element per rank).  Overhead
+    comparisons must price the OMB reference at this same size — pricing
+    it at the raw ``nbytes`` compares the two sides at different
+    payloads and inflates Fig. 7 overheads for sizes not divisible by
+    ``4 * world_size``.
+    """
+    numel = max(world_size, nbytes // 4)
+    numel -= numel % world_size
+    return numel * 4
+
+
 def framework_latency_us(
     system: SystemSpec,
     backend_name: str,
@@ -58,8 +75,7 @@ def framework_latency_us(
     from repro.core.comm import MCRCommunicator
 
     config = config or MCRConfig()
-    numel = max(world_size, nbytes // 4)
-    numel -= numel % world_size
+    numel = effective_nbytes(nbytes, world_size) // 4
 
     def bench(ctx):
         comm = MCRCommunicator(ctx, [backend_name], config=config, comm_id="omb")
@@ -101,6 +117,34 @@ def overhead_pct(framework_us: float, omb_us: float) -> float:
     if omb_us <= 0:
         raise ValueError(f"invalid OMB reference {omb_us}")
     return (framework_us - omb_us) / omb_us * 100.0
+
+
+def framework_overhead_pct(
+    system: SystemSpec,
+    backend_name: str,
+    family: OpFamily,
+    nbytes: int,
+    world_size: int,
+    config: Optional[MCRConfig] = None,
+    iterations: int = 5,
+    nonblocking: bool = False,
+) -> float:
+    """Fig. 7 overhead with both sides priced at one effective payload.
+
+    Computes :func:`effective_nbytes` once and feeds it to *both* the
+    framework measurement and the OMB reference, so the comparison is
+    apples-to-apples even when ``nbytes`` is not a multiple of
+    ``4 * world_size``.
+    """
+    eff = effective_nbytes(nbytes, world_size)
+    framework = framework_latency_us(
+        system, backend_name, family, eff, world_size,
+        config=config, iterations=iterations, nonblocking=nonblocking,
+    )
+    omb = omb_latency_us(
+        system, backend_name, family, eff, world_size, nonblocking=nonblocking
+    )
+    return overhead_pct(framework, omb)
 
 
 def sweep_backends(

@@ -33,6 +33,12 @@ Scenarios
     the end-to-end composition (model, plan dispatch, rendezvous,
     wire-lane contention) that Figure 8 runs dozens of times.
 
+``obs_overhead``
+    The same training measurement with observability off and on
+    (tracing + metrics).  Its fingerprint includes the simulated
+    step-time delta between the two, which must stay at zero —
+    observers record, they never sleep.
+
 Usage
 -----
 
@@ -220,6 +226,41 @@ def dsmoe_step() -> dict:
         ),
         "sim_step_us": result.step_time_us,
         "sim_samples_per_sec": result.samples_per_sec,
+    }
+
+
+@scenario("obs_overhead")
+def obs_overhead() -> dict:
+    """Observability cost on the timed path (paper C3's overhead budget).
+
+    Runs the same training measurement twice — plain, then with tracing
+    and metrics both on — and reports the *simulated* step-time delta.
+    Observers only record, they never sleep, so the delta must be zero;
+    ``scripts/perfgate.py`` gates it at <= 5%.
+    """
+    from repro.cluster import lassen
+    from repro.models import BackendPlan, DSMoEModel, Trainer
+
+    wall = time.perf_counter()
+    plain = Trainer(lassen(), steps=2, warmup=1).run(
+        DSMoEModel(), 16, BackendPlan.mixed(label="MCR-DL")
+    )
+    instrumented = Trainer(lassen(), steps=2, warmup=1, trace=True, metrics=True).run(
+        DSMoEModel(), 16, BackendPlan.mixed(label="MCR-DL")
+    )
+    wall = time.perf_counter() - wall
+    overhead_pct = (
+        (instrumented.step_time_us - plain.step_time_us) / plain.step_time_us * 100.0
+        if plain.step_time_us > 0
+        else 0.0
+    )
+    recorded = len(instrumented.metrics.events) if instrumented.metrics else 0
+    return {
+        "wall_s": wall,
+        "events_recorded": recorded,
+        "sim_step_us": plain.step_time_us,
+        "sim_instrumented_step_us": instrumented.step_time_us,
+        "sim_overhead_pct": round(overhead_pct, 6),
     }
 
 

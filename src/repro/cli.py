@@ -155,7 +155,15 @@ def cmd_train(args: argparse.Namespace) -> int:
             faults = FaultSpec.parse(args.faults)
         except (ValueError, KeyError, TypeError) as exc:
             raise SystemExit(f"bad --faults spec: {exc}")
-    trainer = Trainer(system, steps=args.steps, warmup=args.warmup, faults=faults)
+    want_obs = bool(args.trace or args.metrics)
+    trainer = Trainer(
+        system,
+        steps=args.steps,
+        warmup=args.warmup,
+        faults=faults,
+        trace=bool(args.trace),
+        metrics=want_obs,
+    )
     result = trainer.run(model, args.world, plan)
     payload = {
         "model": result.model,
@@ -168,7 +176,62 @@ def cmd_train(args: argparse.Namespace) -> int:
     }
     if faults is not None:
         payload["fault_events"] = result.fault_events
+    if args.trace:
+        from repro.obs import save_chrome_trace
+
+        save_chrome_trace(args.trace, result.tracer, result.metrics)
+        print(f"trace -> {args.trace}", file=sys.stderr)
+    if args.metrics:
+        from repro.obs import save_metrics
+
+        save_metrics(
+            args.metrics, result.metrics, args.world, comm_logger=result.comm_log
+        )
+        print(f"metrics -> {args.metrics}", file=sys.stderr)
+    # stdout stays pure JSON (scriptable; file notices go to stderr)
     print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import format_table
+    from repro.obs import load_chrome_trace, trace_breakdown
+
+    events = load_chrome_trace(args.trace_file)
+    breakdown = trace_breakdown(events)
+    print(
+        f"{args.trace_file}: {len(breakdown['ranks'])} rank(s), "
+        f"span {breakdown['span_us']:.1f} us"
+    )
+    cats = breakdown["categories"]
+    if cats:
+        print()
+        print(format_table(
+            ("category", "events", "sum_us", "busy_us"),
+            [
+                (c, cats[c]["events"], cats[c]["sum_us"], cats[c]["busy_us"])
+                for c in sorted(cats)
+            ],
+        ))
+    if breakdown["per_step"]:
+        print()
+        print(format_table(
+            ("step", "ranks", "window_us"),
+            [
+                (step, cell["ranks"], cell["dur_us"])
+                for step, cell in sorted(breakdown["per_step"].items())
+            ],
+        ))
+    if args.per_rank and breakdown["per_rank"]:
+        cats_order = sorted({c for pr in breakdown["per_rank"].values() for c in pr})
+        print()
+        print(format_table(
+            ("rank", *cats_order),
+            [
+                (rank, *[pr.get(c, 0.0) for c in cats_order])
+                for rank, pr in breakdown["per_rank"].items()
+            ],
+        ))
     return 0
 
 
@@ -234,7 +297,27 @@ def build_parser() -> argparse.ArgumentParser:
         "'seed=7;backend=nccl:transient:prob=0.1;link=2000:8000:1.8;"
         "straggler=1:1.4' (see repro.sim.faults.FaultSpec.parse)",
     )
+    train.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome/Perfetto trace (stream timeline + step "
+        "markers + comm-byte counter tracks) to FILE",
+    )
+    train.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the observability metrics dump (counters, "
+        "histograms, per-step comm breakdown) to FILE as JSON",
+    )
     train.set_defaults(func=cmd_train)
+
+    trace = sub.add_parser(
+        "trace", help="render breakdown tables from a saved --trace file"
+    )
+    trace.add_argument("trace_file", help="chrome trace JSON written by train --trace")
+    trace.add_argument(
+        "--per-rank", action="store_true",
+        help="also print a per-rank category table",
+    )
+    trace.set_defaults(func=cmd_trace)
 
     perf = sub.add_parser(
         "perf", help="wall-clock perf-regression harness for the simulator"

@@ -201,6 +201,11 @@ class MCRCommunicator:
             from repro.ext.logging_ext import CommLogger
 
             self._fault_log = CommLogger.shared(ctx)
+        #: unified observability registry (repro.obs), installed into the
+        #: job's shared state by the Simulator; None = observability off,
+        #: and every use below is guarded so the healthy path pays one
+        #: attribute load
+        self._obs = ctx.shared.get("obs")
 
         self._codec = None
         if self.config.compression.enabled:
@@ -883,7 +888,8 @@ class MCRCommunicator:
             idx = self._fault_counters.get(scope, 0) + 1
             self._fault_counters[scope] = idx
             fault = inj.backend_fault(
-                self.comm_id, backend.name, idx, p2p=p2p_channel is not None
+                self.comm_id, backend.name, idx, p2p=p2p_channel is not None,
+                rank=ctx.rank, now=ctx.now,
             )
             if fault is None:
                 return backend
@@ -971,9 +977,15 @@ class MCRCommunicator:
             raise MCRError("communicator already finalized")
         ctx = self.ctx
         backend = self._resolve_backend(backend_name, family, nbytes)
+        resolved_name = backend.name
         if self._fault_gate or self._quarantined:
             backend = self._admit_backend(backend, family, nbytes)
         label, dispatch_reason = self._op_label(family, backend.name)
+        dispatch = (
+            self._dispatch_kind(backend_name, resolved_name, backend.name)
+            if self.logger is not None
+            else "explicit"
+        )
 
         # host dispatch: thin Python layer + backend call overhead (C3)
         ctx.engine.sleep(self._dispatch_cost(backend), dispatch_reason)
@@ -998,7 +1010,10 @@ class MCRCommunicator:
                     if a_in is not a_out:
                         a_out[:] = a_in
             handle = CompletedHandle(ctx, backend.name, label)
-            self._log(family, backend, nbytes, ctx.now, ctx.now, async_op)
+            self._log(
+                family, backend, nbytes, ctx.now, ctx.now, async_op,
+                dispatch=dispatch, stream="host",
+            )
             if async_op:
                 return handle
             return None
@@ -1036,9 +1051,11 @@ class MCRCommunicator:
         rdv.arrivals[ctx.rank] = arrival
 
         member_node = None
+        stream_label = "host"
         if stream_kind:
             self.sync.pre_post(backend)
             stream = self.sync.pick_stream(backend, wire_bytes)
+            stream_label = stream.name
             producer = ctx.gpu.default_stream.last
             member_node = stream.enqueue_collective_member(
                 rdv.group,
@@ -1135,7 +1152,10 @@ class MCRCommunicator:
             and backend.properties.stream_aware
             and self.config.synchronization != "naive"
         )
-        self._log_on_flag(family, backend, nbytes, rdv.flag, async_op, rdv)
+        self._log_on_flag(
+            family, backend, nbytes, rdv.flag, async_op, rdv,
+            dispatch=dispatch, stream=stream_label,
+        )
         deadline_us = self.config.op_deadline_us
         if async_op:
             handle = WorkHandle(
@@ -1245,6 +1265,7 @@ class MCRCommunicator:
         if peer_global == ctx.rank:
             raise ValidationError("p2p with self is not supported")
         backend = self._resolve_backend(backend_name, OpFamily.P2P, tensor.nbytes())
+        resolved_name = backend.name
         src, dst = (ctx.rank, peer_global) if is_send else (peer_global, ctx.rank)
         if self._fault_gate or self._quarantined:
             backend = self._admit_backend(
@@ -1286,6 +1307,9 @@ class MCRCommunicator:
             if self.logger is not None:
                 # one record per endpoint (the queued peer cannot know the
                 # transfer duration, so the matching side logs for both)
+                dispatch = self._dispatch_kind(
+                    backend_name, resolved_name, backend.name
+                )
                 for endpoint in (ctx.rank, peer):
                     self.logger.log(
                         rank=endpoint,
@@ -1295,6 +1319,9 @@ class MCRCommunicator:
                         start=end - cost,
                         end=end,
                         async_op=async_op,
+                        step=self._current_step(endpoint),
+                        dispatch=dispatch,
+                        stream="p2p",
                     )
             handle = WorkHandle(
                 ctx, backend.name, flag, None, False, label,
@@ -1322,6 +1349,18 @@ class MCRCommunicator:
 
     # -- logging -----------------------------------------------------------
 
+    @staticmethod
+    def _dispatch_kind(requested: str, resolved_name: str, actual_name: str) -> str:
+        """Attribution tag for one dispatch decision (ISSUE 4): how did
+        this op end up on ``actual_name``?"""
+        if actual_name != resolved_name:
+            return "reroute"  # fault gate failed over / rerouted
+        return "auto" if requested == "auto" else "explicit"
+
+    def _current_step(self, rank: int) -> int:
+        obs = self._obs
+        return obs.current_step(rank) if obs is not None else -1
+
     def _log(
         self,
         family: OpFamily,
@@ -1330,6 +1369,8 @@ class MCRCommunicator:
         start: float,
         end: float,
         async_op: bool,
+        dispatch: str = "explicit",
+        stream: str = "",
     ) -> None:
         if self.logger is not None:
             self.logger.log(
@@ -1340,6 +1381,9 @@ class MCRCommunicator:
                 start=start,
                 end=end,
                 async_op=async_op,
+                step=self._current_step(self.ctx.rank),
+                dispatch=dispatch,
+                stream=stream,
             )
 
     def _log_on_flag(
@@ -1350,18 +1394,24 @@ class MCRCommunicator:
         flag: Flag,
         async_op: bool,
         rdv: Optional[_Rendezvous] = None,
+        dispatch: str = "explicit",
+        stream: str = "",
     ) -> None:
         """Log once the completion time is known (flag fired).
 
         Records the *transfer* interval (completion minus duration), not
         post-to-completion — queueing behind other traffic is not
         communication time (it would double-count in the breakdowns).
+        The training step is captured at *post* time: a non-blocking op
+        completing during step N+1 still belongs to the step that issued
+        it.
         """
         if self.logger is None:
             return
         logger = self.logger
         rank = self.ctx.rank
         post_time = self.ctx.now
+        step = self._current_step(rank)
 
         def emit() -> None:
             end = flag.ready_time
@@ -1375,6 +1425,9 @@ class MCRCommunicator:
                 start=start,
                 end=end,
                 async_op=async_op,
+                step=step,
+                dispatch=dispatch,
+                stream=stream,
             )
 
         if flag.is_set:

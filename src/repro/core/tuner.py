@@ -133,6 +133,7 @@ class Tuner:
         mode: str = "analytic",
         iterations: int = 5,
         warmup: int = 1,
+        metrics=None,
     ):
         if mode not in ("analytic", "simulated"):
             raise TuningError(f"unknown tuning mode {mode!r}")
@@ -144,6 +145,9 @@ class Tuner:
         self.mode = mode
         self.iterations = iterations
         self.warmup = warmup
+        #: optional repro.obs.MetricsRegistry; every measured sample is
+        #: reported as a kind="tuning" event
+        self.metrics = metrics
         #: one analytic backend instance per (name, world_size), reused
         #: across the whole sweep — instantiating per cell dominated wide
         #: analytic sweeps and defeated the shared cost memo
@@ -233,6 +237,23 @@ class Tuner:
                         report.samples.append(
                             TuningSample(str(op), backend, ws, msg, latency)
                         )
+                        if self.metrics is not None:
+                            from repro.obs.metrics import ObsEvent
+
+                            self.metrics.observe(
+                                ObsEvent(
+                                    kind="tuning",
+                                    rank=-1,
+                                    stream="",
+                                    backend=backend,
+                                    family=str(op),
+                                    nbytes=msg,
+                                    step=-1,
+                                    start=0.0,
+                                    end=latency,
+                                    detail=f"ws={ws}",
+                                )
+                            )
                         if latency < best_latency:
                             best_backend, best_latency = backend, latency
                     table.add(str(op), ws, msg, best_backend)

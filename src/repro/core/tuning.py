@@ -24,10 +24,22 @@ from repro.core.exceptions import TuningError
 
 
 def message_bucket(nbytes: int) -> int:
-    """Snap a byte count to its power-of-two bucket (>= 1)."""
+    """Snap a byte count to its power-of-two bucket (>= 1).
+
+    Deterministic round-half-up in log space: a value at or above the
+    geometric midpoint of ``[2**k, 2**(k+1)]`` snaps to ``2**(k+1)``.
+    Implemented in exact integer arithmetic — ``round(math.log2(n))``
+    was subject to banker's rounding of float midpoints, which snapped
+    adjacent midpoint sizes into non-adjacent buckets (log2 exactly 46.5
+    rounds down, 47.5 rounds up), and to float error for byte counts
+    near 2**53.  ``n`` is at/above the midpoint iff ``n*n >= 2**(2k+1)``.
+    """
     if nbytes <= 1:
         return 1
-    return 1 << round(math.log2(nbytes))
+    k = nbytes.bit_length() - 1  # 2**k <= nbytes < 2**(k+1)
+    if nbytes * nbytes >= 1 << (2 * k + 1):
+        k += 1
+    return 1 << k
 
 
 @dataclass

@@ -41,7 +41,8 @@ class FixedRateCodec:
         n_blocks = (n_elems + BLOCK_ELEMS - 1) // BLOCK_ELEMS
         payload_bits = n_elems * self.rate_bits
         scale_bytes = n_blocks * 4
-        return payload_bits // 8 + scale_bytes
+        # ceil-div: a partial trailing byte still goes on the wire
+        return (payload_bits + 7) // 8 + scale_bytes
 
     def ratio(self, nbytes: int) -> float:
         return nbytes / self.compressed_nbytes(nbytes)

@@ -177,12 +177,15 @@ class TensorFusion:
         self._flush_seq[key] = seq + 1
         below_b = bucket.nbytes < self.config.max_buffer_bytes
         if timeout:
+            trigger = "timeout"
             self.stats["timeout_flushes"] += 1
         elif below_b:
             # explicit flush (step boundary) of a bucket that never
             # filled: not a full flush — same character as a timeout
+            trigger = "boundary"
             self.stats["boundary_flushes"] += 1
         else:
+            trigger = "full"
             self.stats["full_flushes"] += 1
         if (
             (timeout or below_b)
@@ -197,6 +200,26 @@ class TensorFusion:
             # and publishes the route; the other ranks follow it.
             backend = self._route_flush(key, seq)
 
+        obs = self.comm._obs
+        if obs is not None:
+            from repro.obs.metrics import ObsEvent
+
+            rank = self.comm.ctx.rank
+            now = self.comm.ctx.now
+            obs.observe(
+                ObsEvent(
+                    kind="fusion",
+                    rank=rank,
+                    stream="",
+                    backend=backend,
+                    family=trigger,
+                    nbytes=bucket.nbytes,
+                    step=obs.current_step(rank),
+                    start=now,
+                    end=now,
+                    detail=f"{len(bucket.tensors)} tensors",
+                )
+            )
         tensors = bucket.tensors
         fused_tensor = cat(tensors)
         inner = self.comm.all_reduce(backend, fused_tensor, op=op, async_op=True)

@@ -32,6 +32,12 @@ class CommRecord:
     start: float
     end: float
     async_op: bool
+    #: training step the op was *posted* in (-1 = outside any step)
+    step: int = -1
+    #: dispatch decision: "explicit" | "auto" | "reroute"
+    dispatch: str = "explicit"
+    #: stream the op ran on ("" when unknown)
+    stream: str = ""
 
     @property
     def duration(self) -> float:
@@ -60,6 +66,11 @@ class CommLogger:
         #: job world size; per-job averages divide by it, not by however
         #: many ranks happened to appear in the filtered records
         self.world_size = world_size
+        #: optional :class:`repro.obs.MetricsRegistry`: every comm record
+        #: and fault event is mirrored into the unified schema.  Bound in
+        #: :meth:`shared` from the job's shared state; None keeps log()
+        #: at one attribute check of extra cost.
+        self.observer = None
 
     @classmethod
     def shared(cls, ctx: "RankContext") -> "CommLogger":
@@ -67,6 +78,8 @@ class CommLogger:
         logger = ctx.shared.setdefault("comm_logger", cls(ctx.world_size))
         if logger.world_size is None:
             logger.world_size = ctx.world_size
+        if logger.observer is None:
+            logger.observer = ctx.shared.get("obs")
         return logger
 
     def log(
@@ -78,10 +91,33 @@ class CommLogger:
         start: float,
         end: float,
         async_op: bool,
+        step: int = -1,
+        dispatch: str = "explicit",
+        stream: str = "",
     ) -> None:
         self.records.append(
-            CommRecord(rank, family, backend, nbytes, start, end, async_op)
+            CommRecord(
+                rank, family, backend, nbytes, start, end, async_op,
+                step, dispatch, stream,
+            )
         )
+        if self.observer is not None:
+            from repro.obs.metrics import ObsEvent
+
+            self.observer.observe(
+                ObsEvent(
+                    kind="comm",
+                    rank=rank,
+                    stream=stream,
+                    backend=backend,
+                    family=family,
+                    nbytes=nbytes,
+                    step=step,
+                    start=start,
+                    end=end,
+                    detail=dispatch,
+                )
+            )
 
     def defer(self, flag: "Flag", emit: Callable[[], None]) -> None:
         """Emit a record when ``flag`` fires (completion time unknown yet)."""
@@ -93,6 +129,23 @@ class CommLogger:
         self, kind: str, rank: int, backend: str, time_us: float, detail: str = ""
     ) -> None:
         self.events.append(FaultEvent(kind, rank, backend, time_us, detail))
+        if self.observer is not None:
+            from repro.obs.metrics import ObsEvent
+
+            self.observer.observe(
+                ObsEvent(
+                    kind="fault",
+                    rank=rank,
+                    stream="",
+                    backend=backend,
+                    family=kind,
+                    nbytes=0,
+                    step=self.observer.current_step(rank),
+                    start=time_us,
+                    end=time_us,
+                    detail=detail,
+                )
+            )
 
     def event_counts(self) -> dict[str, int]:
         counts: dict[str, int] = defaultdict(int)
@@ -155,3 +208,7 @@ class CommLogger:
     def clear(self) -> None:
         self.records.clear()
         self.events.clear()
+        if self.observer is not None:
+            # keep the registry's comm totals reconciled with this log
+            # (the trainer clears both at the warmup/measure boundary)
+            self.observer.clear_comm()

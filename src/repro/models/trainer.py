@@ -37,6 +37,13 @@ class TrainResult:
     #: fault-handling events during the measured steps, by kind
     #: (retry/failover/quarantine); empty for a healthy run
     fault_events: dict = field(default_factory=dict)
+    #: the run's Tracer (None unless ``trace=True``)
+    tracer: Optional[object] = None
+    #: the run's :class:`repro.obs.MetricsRegistry` (None unless
+    #: ``metrics=True``)
+    metrics: Optional[object] = None
+    #: the run's shared :class:`repro.ext.logging_ext.CommLogger`
+    comm_log: Optional[object] = None
 
     @property
     def comm_time_us(self) -> float:
@@ -65,6 +72,7 @@ class Trainer:
         fusion: Optional[FusionConfig] = None,
         trace: bool = False,
         faults=None,
+        metrics: bool = False,
     ):
         if steps < 1:
             raise ValueError("need at least one measured step")
@@ -75,6 +83,9 @@ class Trainer:
         self.trace = trace
         #: optional repro.sim.faults.FaultSpec injected into the run
         self.faults = faults
+        #: enable the unified observability registry (repro.obs) with
+        #: per-step attribution of every comm interval
+        self.metrics = metrics
 
     def run(
         self,
@@ -91,25 +102,44 @@ class Trainer:
                 ctx, plan, profile=profile, fusion=fusion, enable_logging=True
             )
             logger = driver.comm.logger
-            for _ in range(warmup):
+            # step attribution (repro.obs): steps are numbered globally
+            # 0..warmup+steps-1 across warmup and measured phases; the
+            # "train.first_measured_step" gauge marks the boundary
+            obs = ctx.shared.get("obs")
+            for i in range(warmup):
+                if obs is not None:
+                    obs.begin_step(ctx.rank, i, ctx.now)
                 model.run_step(ctx, driver)
                 driver.step_sync()
+                if obs is not None:
+                    obs.end_step(ctx.rank, ctx.now)
             driver.barrier()
             if ctx.rank == 0 and logger is not None:
                 logger.clear()  # measure steady state only
             t0 = ctx.now
-            for _ in range(steps):
+            for i in range(steps):
+                if obs is not None:
+                    obs.begin_step(ctx.rank, warmup + i, ctx.now)
                 model.run_step(ctx, driver)
                 driver.step_sync()
+                if obs is not None:
+                    obs.end_step(ctx.rank, ctx.now)
             driver.barrier()
             elapsed = ctx.now - t0
             driver.finalize()
             return elapsed
 
         sim = Simulator(
-            world_size, system=self.system, trace=self.trace, faults=self.faults
+            world_size,
+            system=self.system,
+            trace=self.trace,
+            faults=self.faults,
+            observe=self.metrics,
         )
         result: SimResult = sim.run(rank_main)
+        if result.metrics is not None:
+            result.metrics.set_gauge("train.first_measured_step", warmup)
+            result.metrics.set_gauge("train.measured_steps", steps)
         elapsed_us = max(result.rank_results)
         step_time = elapsed_us / steps
         samples_per_sec = model.samples_per_step(world_size) / (step_time / 1e6)
@@ -144,6 +174,9 @@ class Trainer:
             comm_by_backend=comm_by_backend,
             busy_by_category=busy,
             fault_events=fault_events,
+            tracer=result.tracer,
+            metrics=result.metrics,
+            comm_log=shared_logger,
         )
 
 

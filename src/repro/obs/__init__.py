@@ -1,0 +1,35 @@
+"""Unified observability: one event schema, one registry, shared exporters.
+
+See :mod:`repro.obs.metrics` for the schema and
+:mod:`repro.obs.export` for the Chrome-trace / metrics-JSON surfaces.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    load_chrome_trace,
+    metrics_to_json,
+    save_chrome_trace,
+    save_metrics,
+    trace_breakdown,
+)
+from repro.obs.metrics import (
+    UNATTRIBUTED_STEP,
+    LogHistogram,
+    MetricsRegistry,
+    ObsEvent,
+    StepMarker,
+)
+
+__all__ = [
+    "UNATTRIBUTED_STEP",
+    "LogHistogram",
+    "MetricsRegistry",
+    "ObsEvent",
+    "StepMarker",
+    "chrome_trace_events",
+    "load_chrome_trace",
+    "metrics_to_json",
+    "save_chrome_trace",
+    "save_metrics",
+    "trace_breakdown",
+]

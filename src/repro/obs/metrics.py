@@ -1,0 +1,299 @@
+"""The unified observability event schema and metrics registry.
+
+The paper's communication-logging extension (§V-E) and its
+compute-vs-communication breakdowns (Figures 1 and 12) presuppose one
+coherent view of what every rank, stream, and backend did.  Before this
+module the reproduction had three disjoint recorders — the
+:class:`~repro.sim.trace.Tracer`, the
+:class:`~repro.ext.logging_ext.CommLogger`, and the fault-event trail —
+with no shared schema and no per-step attribution.  Everything now
+funnels through one :class:`ObsEvent` shape into one
+:class:`MetricsRegistry` per job.
+
+Design constraints (enforced by ``scripts/perfgate.py``):
+
+* **zero cost when off** — no registry is installed unless the caller
+  opts in (``Simulator(observe=...)`` / ``Trainer(metrics=True)``), and
+  every producer guards its emission behind a single ``is None`` check;
+* **zero simulated-time cost when on** — observers only *record*; they
+  never sleep, never advance the virtual clock, and never change a
+  dispatch decision.  Instrumented runs produce byte-identical simulated
+  timings (the perf gate bounds any drift at 5%, mirroring the paper's
+  C3 overhead budget; the actual overhead is exactly zero).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: ``step`` value for events recorded outside any marked training step
+UNATTRIBUTED_STEP = -1
+
+
+@dataclass(slots=True)
+class ObsEvent:
+    """One observed interval or point event, in the unified schema.
+
+    Every producer (comm logger, tracer, fault injector, fusion engine,
+    tuner) tags its events with the same coordinate system so exporters
+    can join them: ``(rank, stream, backend, op family, bytes, step)``.
+
+    ``kind`` selects the producer namespace:
+
+    * ``"comm"``   — one completed communication op (family = op family,
+      ``detail`` = dispatch decision: ``explicit``/``auto``/``reroute``);
+    * ``"trace"``  — one kernel/comm interval from the tracer
+      (family = tracer category, ``detail`` = label);
+    * ``"fault"``  — one fault-handling action (family = kind:
+      retry/failover/quarantine/injected);
+    * ``"fusion"`` — one fusion-buffer flush (family = trigger:
+      full/timeout/boundary);
+    * ``"tuning"`` — one tuning-suite sample (start..end = latency).
+    """
+
+    kind: str
+    rank: int
+    stream: str
+    backend: str
+    family: str
+    nbytes: int
+    step: int
+    start: float
+    end: float
+    detail: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(slots=True)
+class StepMarker:
+    """One training step's window on one rank."""
+
+    rank: int
+    step: int
+    start: float
+    end: Optional[float] = None
+
+
+class LogHistogram:
+    """Log2-bucketed histogram for latencies / sizes.
+
+    Bucket ``e`` counts values in ``(2**(e-1), 2**e]``; values at or
+    below 1 land in bucket 0.  Exact mean is kept alongside (``sum`` /
+    ``count``), and :meth:`percentile` returns the conservative bucket
+    upper bound.
+    """
+
+    __slots__ = ("counts", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: dict[int, int] = defaultdict(int)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def record(self, value: float) -> None:
+        e = 0 if value <= 1.0 else math.ceil(math.log2(value))
+        self.counts[e] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket containing the p-th percentile."""
+        if not self.count:
+            return 0.0
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile {p} not in [0, 100]")
+        target = p / 100.0 * self.count
+        seen = 0
+        for e in sorted(self.counts):
+            seen += self.counts[e]
+            if seen >= target:
+                return float(2**e)
+        return float(2 ** max(self.counts))  # pragma: no cover - float slack
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": {f"le_2^{e}": self.counts[e] for e in sorted(self.counts)},
+        }
+
+
+class MetricsRegistry:
+    """Job-wide metrics: counters, gauges, log-bucketed histograms, the
+    raw event stream, and per-rank training-step attribution.
+
+    One registry is shared by every rank of a simulated job (installed
+    into the shared state dict under the ``"obs"`` key by
+    :class:`repro.sim.Simulator`); single-threaded execution of the
+    discrete-event engine makes it safe without locks.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = defaultdict(float)
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, LogHistogram] = {}
+        #: the raw unified event stream (``"trace"`` events update
+        #: counters but are not retained here — the Tracer already holds
+        #: every interval, and duplicating them would double memory)
+        self.events: list[ObsEvent] = []
+        #: completed (and in-flight) training-step windows
+        self.steps: list[StepMarker] = []
+        self._current_step: dict[int, int] = {}
+        self._open_steps: dict[int, StepMarker] = {}
+
+    # -- primitive metrics ------------------------------------------------
+
+    def inc(self, name: str, by: float = 1.0) -> None:
+        self.counters[name] += by
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def histogram(self, name: str) -> LogHistogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = LogHistogram()
+        return hist
+
+    # -- step attribution -------------------------------------------------
+
+    def begin_step(self, rank: int, step: int, now: float) -> None:
+        """Open step ``step`` on ``rank``; subsequent events posted by
+        that rank are attributed to it (at *post* time — a non-blocking
+        op completing during step N+1 still belongs to the step that
+        issued it)."""
+        self._current_step[rank] = step
+        marker = StepMarker(rank=rank, step=step, start=now)
+        self._open_steps[rank] = marker
+        self.steps.append(marker)
+
+    def end_step(self, rank: int, now: float) -> None:
+        """Close the open step window on ``rank``.  The rank's *current*
+        step is intentionally left in place so trailing work (fusion
+        flushes, barriers, deferred completions posted between steps) is
+        attributed to the step that caused it."""
+        marker = self._open_steps.pop(rank, None)
+        if marker is not None:
+            marker.end = now
+
+    def current_step(self, rank: int) -> int:
+        return self._current_step.get(rank, UNATTRIBUTED_STEP)
+
+    # -- the unified feed -------------------------------------------------
+
+    def observe(self, event: ObsEvent) -> None:
+        """Ingest one event: append it and update derived metrics."""
+        kind = event.kind
+        if kind == "trace":
+            # counters only; the Tracer retains the raw intervals.  The
+            # sum double-counts overlapping intervals by design (it is a
+            # work total, not a union busy time).
+            self.inc(f"trace.sum_us.{event.family}", event.duration)
+            return
+        self.events.append(event)
+        if kind == "comm":
+            fam = event.family
+            dur = event.duration
+            self.inc(f"comm.ops.{fam}")
+            self.inc(f"comm.bytes.{fam}", event.nbytes)
+            self.inc(f"comm.time_us.{fam}", dur)
+            self.inc(f"comm.time_us.backend.{event.backend}", dur)
+            self.inc(f"comm.dispatch.{event.detail or 'explicit'}")
+            self.histogram(f"comm.latency_us.{fam}").record(dur)
+            self.histogram(f"comm.nbytes.{fam}").record(event.nbytes)
+        elif kind == "fault":
+            self.inc(f"fault.{event.family}")
+        elif kind == "fusion":
+            self.inc(f"fusion.{event.family}")
+            self.inc("fusion.bytes", event.nbytes)
+        elif kind == "tuning":
+            self.inc("tuning.samples")
+            self.histogram(f"tuning.latency_us.{event.family}").record(
+                event.duration
+            )
+
+    def clear_comm(self) -> None:
+        """Drop comm and fault events plus their derived metrics.
+
+        Mirrors :meth:`repro.ext.logging_ext.CommLogger.clear` (called
+        at the warmup/measure boundary) so the registry's communication
+        totals keep reconciling with the comm log's.
+        """
+        self.events = [e for e in self.events if e.kind not in ("comm", "fault")]
+        for store in (self.counters, self.histograms):
+            for key in [k for k in store if k.startswith(("comm.", "fault."))]:
+                del store[key]
+
+    # -- aggregation ------------------------------------------------------
+
+    def comm_totals_by_family(self) -> dict[str, dict]:
+        """Job-wide (summed over ranks) ops/bytes/time per op family."""
+        out: dict[str, dict] = {}
+        for event in self.events:
+            if event.kind != "comm":
+                continue
+            cell = out.setdefault(
+                event.family, {"ops": 0, "bytes": 0, "time_us": 0.0}
+            )
+            cell["ops"] += 1
+            cell["bytes"] += event.nbytes
+            cell["time_us"] += event.duration
+        return out
+
+    def per_step_comm(self) -> dict[int, dict]:
+        """Per-step communication breakdown (summed over ranks).
+
+        Returns ``{step: {"ops", "bytes", "time_us", "families":
+        {family: time_us}}}``; ``UNATTRIBUTED_STEP`` collects everything
+        posted outside a marked step.
+        """
+        out: dict[int, dict] = {}
+        for event in self.events:
+            if event.kind != "comm":
+                continue
+            cell = out.setdefault(
+                event.step,
+                {"ops": 0, "bytes": 0, "time_us": 0.0, "families": defaultdict(float)},
+            )
+            cell["ops"] += 1
+            cell["bytes"] += event.nbytes
+            cell["time_us"] += event.duration
+            cell["families"][event.family] += event.duration
+        for cell in out.values():
+            cell["families"] = dict(cell["families"])
+        return out
+
+    def fault_counts(self) -> dict[str, int]:
+        prefix = "fault."
+        return {
+            k[len(prefix):]: int(v)
+            for k, v in self.counters.items()
+            if k.startswith(prefix)
+        }
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every derived metric (JSON-serializable)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }

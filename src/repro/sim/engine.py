@@ -180,6 +180,14 @@ class Engine:
         self._max_events = max_events
         self._current: Optional[_Proc] = None
 
+    def stats(self) -> dict:
+        """Engine-level counters for observability exports."""
+        return {
+            "events_dispatched": self._events_dispatched,
+            "processes": len(self._procs),
+            "now_us": self.now,
+        }
+
     # -- process management -------------------------------------------
 
     def add_process(self, name: str, fn: Callable[[], object]) -> None:

@@ -335,17 +335,51 @@ class FaultInjector:
         self.link_schedule: Optional[LinkSchedule] = (
             LinkSchedule(spec.link_faults) if spec.link_faults else None
         )
+        #: optional :class:`repro.obs.MetricsRegistry` (installed by the
+        #: Simulator); injected decisions are reported into the unified
+        #: event schema.  Recording never changes a decision.
+        self.observer = None
 
     def backend_fault(
-        self, comm_id: str, backend: str, op_index: int, p2p: bool = False
+        self,
+        comm_id: str,
+        backend: str,
+        op_index: int,
+        p2p: bool = False,
+        rank: int = -1,
+        now: float = 0.0,
     ) -> Optional[FaultDecision]:
         """The fault (if any) injected into one dispatch.
 
         ``op_index`` is the caller's per-(communicator, backend) counter:
         the collective index for collectives, the per-directed-channel
         index for point-to-point — both symmetric across the ranks that
-        must agree (see module docstring).
+        must agree (see module docstring).  ``rank`` and ``now`` are
+        observability tags only (who asked, at what simulated time).
         """
+        decision = self._decide(comm_id, backend, op_index, p2p)
+        if decision is not None and self.observer is not None:
+            from repro.obs.metrics import ObsEvent
+
+            self.observer.observe(
+                ObsEvent(
+                    kind="fault",
+                    rank=rank,
+                    stream="",
+                    backend=backend,
+                    family=f"injected.{decision.kind}",
+                    nbytes=0,
+                    step=self.observer.current_step(rank),
+                    start=now,
+                    end=now,
+                    detail=f"{comm_id}#{op_index}",
+                )
+            )
+        return decision
+
+    def _decide(
+        self, comm_id: str, backend: str, op_index: int, p2p: bool
+    ) -> Optional[FaultDecision]:
         specs = self._by_backend.get(backend)
         if not specs:
             return None

@@ -32,6 +32,9 @@ class SimResult:
     #: the full cross-rank shared dictionary (comm logger, rendezvous
     #: tables, ...) as it stood at job end
     shared: dict = field(default_factory=dict)
+    #: the unified :class:`repro.obs.MetricsRegistry` (None unless
+    #: observability was enabled via ``observe=``)
+    metrics: Optional[Any] = None
 
     @property
     def elapsed_ms(self) -> float:
@@ -63,6 +66,14 @@ class Simulator:
             job's shared state.  None (the default) adds no fault
             machinery at all — simulated timings are bit-identical to a
             Simulator built without the argument.
+        observe: enable the unified observability pipeline.  ``True``
+            creates a fresh :class:`repro.obs.MetricsRegistry`; a
+            registry instance can also be passed directly (to accumulate
+            across runs).  The registry is installed into the job's
+            shared state under ``"obs"`` where the comm logger, tracer,
+            fault injector, and fusion engine find it.  Observers never
+            sleep or alter dispatch, so simulated timings are
+            bit-identical with and without this flag (perfgate-enforced).
     """
 
     def __init__(
@@ -75,6 +86,7 @@ class Simulator:
         max_events: int = 200_000_000,
         stragglers: "dict[int, float] | None" = None,
         faults: Any = None,
+        observe: Any = False,
     ):
         if system is None:
             from repro.cluster import generic_cluster
@@ -88,6 +100,12 @@ class Simulator:
         self.kernel_launch_overhead_us = kernel_launch_overhead_us
         self.max_events = max_events
         self.faults = faults
+        if observe:
+            from repro.obs.metrics import MetricsRegistry
+
+            self.observer = observe if isinstance(observe, MetricsRegistry) else MetricsRegistry()
+        else:
+            self.observer = None
         #: {rank: compute slowdown factor}; ranks not listed run at 1.0
         self.stragglers = dict(stragglers or {})
         if faults is not None:
@@ -109,6 +127,10 @@ class Simulator:
         engine = Engine(max_events=self.max_events)
         tracer = Tracer() if self.trace else None
         shared: dict = {"stats": {}}
+        if self.observer is not None:
+            shared["obs"] = self.observer
+            if tracer is not None:
+                tracer.observer = self.observer
         injector = None
         if self.faults is not None and (
             self.faults.backend_faults or self.faults.link_faults
@@ -116,6 +138,7 @@ class Simulator:
             from repro.sim.faults import FaultInjector
 
             injector = FaultInjector(self.faults)
+            injector.observer = self.observer
             shared["fault_injector"] = injector
         contexts = []
         for rank in range(self.world_size):
@@ -170,10 +193,16 @@ class Simulator:
                 self.system.link_degradation = prior
         else:
             elapsed = engine.run()
+        if self.observer is not None:
+            for name, value in engine.stats().items():
+                self.observer.set_gauge(f"engine.{name}", value)
+            self.observer.set_gauge("sim.elapsed_us", elapsed)
+            self.observer.set_gauge("sim.world_size", self.world_size)
         return SimResult(
             elapsed_us=elapsed,
             rank_results=results,
             tracer=tracer,
             stats=shared["stats"],
             shared=shared,
+            metrics=self.observer,
         )

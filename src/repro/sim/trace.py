@@ -35,12 +35,34 @@ class Tracer:
     def __init__(self) -> None:
         self.records: list[TraceRecord] = []
         self.enabled = True
+        #: optional :class:`repro.obs.MetricsRegistry`; when set, every
+        #: recorded interval is forwarded as a ``kind="trace"`` event in
+        #: the unified schema (duck-typed — this module stays free of an
+        #: obs import so the simulator core has no upward dependency)
+        self.observer = None
 
     def record(
         self, rank: int, stream: str, label: str, category: str, start: float, end: float
     ) -> None:
         if self.enabled:
             self.records.append(TraceRecord(rank, stream, label, category, start, end))
+            if self.observer is not None:
+                from repro.obs.metrics import ObsEvent
+
+                self.observer.observe(
+                    ObsEvent(
+                        kind="trace",
+                        rank=rank,
+                        stream=stream,
+                        backend="",
+                        family=category,
+                        nbytes=0,
+                        step=self.observer.current_step(rank),
+                        start=start,
+                        end=end,
+                        detail=label,
+                    )
+                )
 
     # -- queries -------------------------------------------------------
 
@@ -107,10 +129,19 @@ class Tracer:
 
     # -- export ----------------------------------------------------------
 
-    def to_chrome_trace(self) -> list[dict]:
+    def to_chrome_trace(
+        self,
+        steps: Optional[list[dict]] = None,
+        counters: Optional[list[dict]] = None,
+    ) -> list[dict]:
         """Export as Chrome trace-event JSON (load in chrome://tracing or
         Perfetto): one process per rank, one thread per stream, complete
-        ("X") events in microseconds."""
+        ("X") events in microseconds.
+
+        ``steps`` and ``counters`` are pre-built event lists (training
+        step markers and counter-track samples, see
+        :mod:`repro.obs.export`) appended verbatim after the interval
+        events."""
         events: list[dict] = []
         thread_ids: dict[tuple[int, str], int] = {}
         for record in self.records:
@@ -139,6 +170,10 @@ class Tracer:
                     "dur": record.duration,
                 }
             )
+        if steps:
+            events.extend(steps)
+        if counters:
+            events.extend(counters)
         return events
 
     def save_chrome_trace(self, path) -> None:

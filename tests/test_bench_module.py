@@ -7,7 +7,9 @@ import pytest
 from repro.backends.ops import OpFamily
 from repro.bench.microbench import (
     MICRO_MESSAGE_SIZES,
+    effective_nbytes,
     framework_latency_us,
+    framework_overhead_pct,
     omb_latency_us,
     overhead_pct,
     sweep_backends,
@@ -57,6 +59,36 @@ class TestMicrobench:
     def test_default_sweep_range(self):
         assert MICRO_MESSAGE_SIZES[0] == 1024
         assert MICRO_MESSAGE_SIZES[-1] == 64 * 1024 * 1024
+
+    def test_effective_nbytes_rounds_to_world_multiple(self):
+        # 60 bytes = 15 float32 elements; at world size 8 the framework
+        # can only exercise 8 elements = 32 bytes
+        assert effective_nbytes(60, 8) == 32
+        assert effective_nbytes(1024, 8) == 1024  # exact multiple untouched
+        assert effective_nbytes(1, 8) == 32  # floor: one element per rank
+
+    def test_overhead_prices_both_sides_at_one_payload(self):
+        # regression: the framework side floored 60 bytes to 32 while the
+        # OMB reference was still priced at 60, comparing the two sides
+        # at different payloads
+        system = lassen()
+        awkward, ws = 60, 8
+        fixed = framework_overhead_pct(
+            system, "mvapich2-gdr", OpFamily.ALLREDUCE, awkward, ws
+        )
+        # same answer as asking at the already-effective size directly
+        assert fixed == pytest.approx(
+            framework_overhead_pct(
+                system, "mvapich2-gdr", OpFamily.ALLREDUCE,
+                effective_nbytes(awkward, ws), ws,
+            )
+        )
+        # the mismatched pairing measurably disagrees
+        mismatched = overhead_pct(
+            framework_latency_us(system, "mvapich2-gdr", OpFamily.ALLREDUCE, awkward, ws),
+            omb_latency_us(system, "mvapich2-gdr", OpFamily.ALLREDUCE, awkward, ws),
+        )
+        assert fixed != pytest.approx(mismatched, abs=1e-6)
 
 
 class TestReporting:

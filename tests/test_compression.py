@@ -1,6 +1,8 @@
 """Fixed-rate lossy compression (paper §V-E): size contract, error
 bounds, and integration into the communicator."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,23 @@ class TestCodec:
         out = codec.compressed_nbytes(nbytes)
         # 8 bits/elem payload + one fp32 scale per 256-elem block
         assert out == 4096 + (4096 // BLOCK_ELEMS) * 4
+
+    def test_partial_trailing_byte_rounds_up(self):
+        # 1 element at 2 bits is a quarter byte of payload -> still one
+        # wire byte, plus one fp32 block scale
+        assert FixedRateCodec(rate_bits=2).compressed_nbytes(4) == 1 + 4
+
+    def test_compressed_size_exact_for_odd_sizes(self):
+        # regression: payload bits were floor-divided into bytes, so any
+        # element count with a partial trailing byte under-reported the
+        # wire size (worst at rate_bits=2, where up to 6 bits dropped)
+        for rate in range(2, 17):
+            codec = FixedRateCodec(rate_bits=rate)
+            for n_elems in (1, 3, 5, 7, 127, 255, 257, 999, 1001):
+                n_blocks = -(-n_elems // BLOCK_ELEMS)
+                expected = math.ceil(n_elems * rate / 8) + n_blocks * 4
+                got = codec.compressed_nbytes(n_elems * 4)
+                assert got == expected, (rate, n_elems, got, expected)
 
     def test_ratio_near_rate(self):
         codec = FixedRateCodec(rate_bits=8)

@@ -21,6 +21,7 @@ def test_scenario_registry_complete():
         "allreduce_ws128",
         "tuner_sweep",
         "dsmoe_step",
+        "obs_overhead",
     }
 
 

@@ -1,5 +1,7 @@
 """Tuning tables and the tuning suite (paper §V-F, C5)."""
 
+import math
+
 import pytest
 
 from repro.backends.ops import OpFamily
@@ -27,6 +29,23 @@ class TestMessageBucket:
         assert message_bucket(0) == 1
         assert message_bucket(1) == 1
 
+    def test_midpoint_boundaries_exact(self):
+        # the geometric midpoint of [2**k, 2**(k+1)] is 2**(k+0.5); the
+        # largest integer below it is isqrt(2**(2k+1) - 1).  Exact
+        # round-half-up: that integer snaps down, the next one snaps up,
+        # at every scale
+        for k in range(1, 60):
+            below = math.isqrt((1 << (2 * k + 1)) - 1)
+            assert message_bucket(below) == 1 << k, k
+            assert message_bucket(below + 1) == 1 << (k + 1), k
+
+    def test_large_sizes_not_subject_to_float_rounding(self):
+        # regression: round(math.log2(n)) could not separate values
+        # around large midpoints, and banker's rounding then snapped
+        # both of these into the same (2**48) bucket
+        assert message_bucket(199032864766430) == 1 << 47
+        assert message_bucket(398065729532861) == 1 << 49
+
 
 class TestTuningTable:
     def make(self):
@@ -43,6 +62,14 @@ class TestTuningTable:
     def test_message_size_snaps_to_nearest(self):
         assert self.make().lookup("allreduce", 16, 900) == "mvapich2-gdr"
         assert self.make().lookup("allreduce", 16, 2 << 20) == "nccl"
+
+    def test_lookup_splits_at_bucket_midpoint(self):
+        t = TuningTable(system="lassen")
+        t.add("allreduce", 16, 2048, "mvapich2-gdr")
+        t.add("allreduce", 16, 4096, "nccl")
+        # geometric midpoint of [2048, 4096] is ~2896.3
+        assert t.lookup("allreduce", 16, 2896) == "mvapich2-gdr"
+        assert t.lookup("allreduce", 16, 2897) == "nccl"
 
     def test_world_size_snaps_log_space(self):
         # 48 is closer to 64 than to 16 in log2 space
@@ -122,6 +149,42 @@ class TestTuner:
             lassen(), ["nccl", "mvapich2-gdr"], mode="simulated", iterations=3
         ).build_table(**kwargs)
         assert analytic.table.entries == simulated.table.entries
+
+    def test_sweep_samples_cover_every_cell_once_per_backend(self):
+        """Sweep integrity: no cell is skipped or double-measured."""
+        backends = ["nccl", "mvapich2-gdr", "msccl"]
+        ops = [OpFamily.ALLREDUCE, OpFamily.ALLTOALL]
+        world_sizes = [4, 16]
+        sizes = [256, 4096, 1 << 20]
+        report = Tuner(lassen(), backends).build_table(
+            world_sizes=world_sizes, message_sizes=sizes, ops=ops
+        )
+        expected = len(ops) * len(world_sizes) * len(sizes) * len(backends)
+        assert len(report.samples) == expected
+        for op in ops:
+            for ws in world_sizes:
+                for msg in sizes:
+                    cell = report.samples_for(str(op), ws, msg)
+                    assert len(cell) == len(backends), (op, ws, msg)
+                    assert sorted(s.backend for s in cell) == sorted(backends)
+
+    def test_table_roundtrip_serves_auto_dispatch_keys(self, tmp_path):
+        # "auto" in core/comm.py looks tables up by OpFamily.value; a
+        # saved/loaded table must keep serving exactly those keys
+        ops = [OpFamily.ALLREDUCE, OpFamily.ALLGATHER, OpFamily.ALLTOALL]
+        report = Tuner(lassen(), ["nccl", "mvapich2-gdr"]).build_table(
+            world_sizes=[16], message_sizes=[256, 1 << 20], ops=ops
+        )
+        path = tmp_path / "table.json"
+        report.table.save(path)
+        loaded = TuningTable.load(path, expect_system="lassen")
+        assert set(loaded.entries) == {op.value for op in ops}
+        for op in ops:
+            assert str(op) == op.value  # the contract build_table relies on
+            for msg in (256, 1 << 20):
+                choice = loaded.lookup(op.value, 16, msg)
+                assert choice is not None
+                assert choice == report.table.lookup(op.value, 16, msg)
 
     def test_bad_mode_rejected(self):
         with pytest.raises(TuningError):
