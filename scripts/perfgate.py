@@ -18,11 +18,22 @@ compares them against the ``after`` side of the committed
   (default 5%, the paper's C3 overhead budget) fails the gate.  It is
   run even when absent from the baseline so older baselines still gate
   the budget.
+* **sweep engine**: the ``tune_sweep`` scenario runs the same
+  simulated-mode tuning sweep serial, parallel (4 workers), and warm
+  from the on-disk sweep cache.  The warm run must recompute **zero**
+  cells and finish under ``--sweep-warm-pct`` (default 25%) of the
+  serial wall; on hosts with >= 2 CPUs the parallel run must beat
+  serial by at least ``--sweep-floor`` (default 1.3x — the engine
+  targets >= 2x on 4 idle cores, the floor leaves CI headroom).  All
+  three sweeps must agree byte-for-byte; that identity is part of the
+  scenario's simulated fingerprint.  Like ``obs_overhead``, it runs
+  even when absent from the baseline.
 
 Usage::
 
     PYTHONPATH=src python scripts/perfgate.py [--baseline BENCH_simulator.json]
         [--tolerance 0.20] [--repeats 3] [--min-wall-s 0.02]
+        [--sweep-floor 1.3] [--sweep-warm-pct 25]
 
 Exit status 0 = pass, 1 = regression, 2 = unusable baseline.
 
@@ -44,6 +55,9 @@ from repro.bench import perfregress  # noqa: E402
 #: scenario whose fingerprint carries the instrumented-path overhead
 OBS_SCENARIO = "obs_overhead"
 
+#: scenario carrying the sweep engine's parallel / warm-cache contract
+TUNE_SCENARIO = "tune_sweep"
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -55,6 +69,8 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--min-wall-s", type=float, default=0.02)
     parser.add_argument("--obs-budget-pct", type=float, default=5.0)
+    parser.add_argument("--sweep-floor", type=float, default=1.3)
+    parser.add_argument("--sweep-warm-pct", type=float, default=25.0)
     args = parser.parse_args(argv)
 
     data = perfregress.load(args.baseline)
@@ -66,6 +82,8 @@ def main(argv=None) -> int:
     chosen = set(baseline) & set(perfregress.SCENARIOS)
     if OBS_SCENARIO in perfregress.SCENARIOS:
         chosen.add(OBS_SCENARIO)  # budget-gated even without a baseline
+    if TUNE_SCENARIO in perfregress.SCENARIOS:
+        chosen.add(TUNE_SCENARIO)  # sweep-gated even without a baseline
     fresh = perfregress.run_scenarios(sorted(chosen), repeats=args.repeats, progress=print)
 
     failures = []
@@ -85,6 +103,10 @@ def main(argv=None) -> int:
         if perfregress.fingerprint(base) != perfregress.fingerprint(cur):
             verdict = "SIM-DIFFERS"
             failures.append(f"{name}: simulated fingerprint changed")
+        elif name == TUNE_SCENARIO:
+            # composite wall (serial + spawn pool + warm) with huge pool
+            # variance on small hosts; gated by its own criteria below
+            verdict = "ok (sweep-gated, wall exempt)"
         elif base["wall_s"] < args.min_wall_s:
             verdict = "ok (tiny, wall exempt)"
         elif ratio > 1.0 + args.tolerance:
@@ -111,6 +133,49 @@ def main(argv=None) -> int:
                 f"(budget {args.obs_budget_pct:.1f}%, "
                 f"{obs.get('events_recorded', 0)} events recorded)"
             )
+
+    tune = fresh.get(TUNE_SCENARIO)
+    if tune is not None and "parallel_speedup" in tune:
+        if not tune.get("sim_tables_identical", False):
+            failures.append(
+                f"{TUNE_SCENARIO}: parallel/warm tuning tables differ from serial"
+            )
+        if not tune.get("sim_samples_identical", False):
+            failures.append(
+                f"{TUNE_SCENARIO}: parallel/warm sample streams differ from serial"
+            )
+        recomputed = tune.get("warm_recomputed", 0)
+        if recomputed != 0:
+            failures.append(
+                f"{TUNE_SCENARIO}: warm-cache run recomputed {recomputed} "
+                "cell(s); expected 0"
+            )
+        serial_s = tune.get("serial_wall_s", 0.0)
+        warm_pct = (
+            tune["warm_wall_s"] / serial_s * 100.0 if serial_s > 0 else 0.0
+        )
+        if warm_pct > args.sweep_warm_pct:
+            failures.append(
+                f"{TUNE_SCENARIO}: warm-cache sweep took {warm_pct:.1f}% of "
+                f"the serial wall (budget {args.sweep_warm_pct:.1f}%)"
+            )
+        speedup = tune["parallel_speedup"]
+        host_cpus = tune.get("host_cpus", 1)
+        if host_cpus >= 2 and speedup < args.sweep_floor:
+            failures.append(
+                f"{TUNE_SCENARIO}: parallel sweep only {speedup:.2f}x serial "
+                f"on {host_cpus} CPUs (floor {args.sweep_floor:.2f}x)"
+            )
+        parallel_note = (
+            f"{speedup:.2f}x parallel"
+            if host_cpus >= 2
+            else f"{speedup:.2f}x parallel (floor waived: {host_cpus} CPU host)"
+        )
+        print(
+            f"\nsweep engine: {parallel_note}, warm cache "
+            f"{tune.get('warm_speedup', 0.0):.0f}x "
+            f"({warm_pct:.1f}% of serial, {recomputed} cell(s) recomputed)"
+        )
 
     if failures:
         print("\nperfgate FAILED:", file=sys.stderr)

@@ -26,12 +26,31 @@ def _check_equal_sizes(buffers: Sequence[np.ndarray], what: str) -> int:
     return sizes.pop()
 
 
+def _stage_if_aliased(
+    sources: Sequence[np.ndarray], destinations: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Sources that are safe to read while the destinations are written.
+
+    The movement loops below interleave reads of the inputs with writes
+    to the outputs, so an output view overlapping an input view would
+    corrupt later reads.  ``np.shares_memory`` proves (exactly, and
+    cheaply for these flat views) whether any such overlap exists; only
+    then are the inputs staged through copies.  The common case — every
+    rank on its own buffer, or disjoint views of one shared pool — moves
+    data with zero staging copies.
+    """
+    if any(np.shares_memory(s, d) for s in sources for d in destinations):
+        return [np.array(s, copy=True) for s in sources]
+    return list(sources)
+
+
 def all_reduce(
     inputs: Sequence[np.ndarray], outputs: Sequence[np.ndarray], op: ReduceOp
 ) -> None:
     _check_equal_sizes(inputs, "all_reduce inputs")
-    # Copy inputs first: in-place operation means outputs may alias inputs.
-    reduced = op.apply([np.array(b, copy=True) for b in inputs])
+    # ReduceOp.apply materializes into a fresh array (np.stack copies)
+    # before any output is written, so aliased outputs need no staging.
+    reduced = op.apply(list(inputs))
     for out in outputs:
         if out.size != reduced.size:
             raise ValueError("all_reduce: output size mismatch")
@@ -44,14 +63,14 @@ def reduce(
     op: ReduceOp,
 ) -> None:
     _check_equal_sizes(inputs, "reduce inputs")
-    reduced = op.apply([np.array(b, copy=True) for b in inputs])
+    reduced = op.apply(list(inputs))
     if root_output.size != reduced.size:
         raise ValueError("reduce: root output size mismatch")
     root_output[:] = reduced
 
 
 def broadcast(root_input: np.ndarray, outputs: Sequence[np.ndarray]) -> None:
-    src = np.array(root_input, copy=True)
+    src = _stage_if_aliased([root_input], outputs)[0]
     for out in outputs:
         if out.size != src.size:
             raise ValueError("broadcast: output size mismatch")
@@ -62,7 +81,8 @@ def all_gather(inputs: Sequence[np.ndarray], outputs: Sequence[np.ndarray]) -> N
     """Each rank contributes ``n``; every output receives ``p * n`` in
     rank order."""
     n = _check_equal_sizes(inputs, "all_gather inputs")
-    gathered = np.concatenate([np.array(b, copy=True) for b in inputs])
+    # np.concatenate materializes the gathered vector before any write
+    gathered = np.concatenate(list(inputs))
     for out in outputs:
         if out.size != n * len(inputs):
             raise ValueError(
@@ -81,13 +101,13 @@ def all_gather_v(
     placed at ``displs[i]`` in every output."""
     if len(rcounts) != len(inputs) or len(displs) != len(inputs):
         raise ValueError("all_gather_v: counts/displs length mismatch")
-    contributions = []
     for i, buf in enumerate(inputs):
         if buf.size < rcounts[i]:
             raise ValueError(
                 f"all_gather_v: rank {i} buffer ({buf.size}) < rcount {rcounts[i]}"
             )
-        contributions.append(np.array(buf[: rcounts[i]], copy=True))
+    staged = _stage_if_aliased(list(inputs), outputs)
+    contributions = [buf[: rcounts[i]] for i, buf in enumerate(staged)]
     for out in outputs:
         for i, chunk in enumerate(contributions):
             end = displs[i] + rcounts[i]
@@ -104,7 +124,7 @@ def reduce_scatter(
     p = len(inputs)
     if n % p != 0:
         raise ValueError(f"reduce_scatter: size {n} not divisible by ranks {p}")
-    reduced = op.apply([np.array(b, copy=True) for b in inputs])
+    reduced = op.apply(list(inputs))
     chunk = n // p
     for i, out in enumerate(outputs):
         if out.size != chunk:
@@ -121,7 +141,7 @@ def all_to_all_single(
     if n % p != 0:
         raise ValueError(f"all_to_all: size {n} not divisible by ranks {p}")
     chunk = n // p
-    staged = [np.array(b, copy=True) for b in inputs]
+    staged = _stage_if_aliased(list(inputs), outputs)
     for j, out in enumerate(outputs):
         if out.size != n:
             raise ValueError("all_to_all: output size mismatch")
@@ -144,7 +164,7 @@ def all_to_all_v(
     (which must expect ``rcounts[j][i] == scounts[i][j]`` elements).
     """
     p = len(inputs)
-    staged = [np.array(b, copy=True) for b in inputs]
+    staged = _stage_if_aliased(list(inputs), outputs)
     for i in range(p):
         for j in range(p):
             cnt = scounts[i][j]
@@ -166,7 +186,8 @@ def gather(inputs: Sequence[np.ndarray], root_output: np.ndarray) -> None:
     n = _check_equal_sizes(inputs, "gather inputs")
     if root_output.size != n * len(inputs):
         raise ValueError("gather: root output size mismatch")
-    root_output[:] = np.concatenate([np.array(b, copy=True) for b in inputs])
+    # np.concatenate materializes before the root output is written
+    root_output[:] = np.concatenate(list(inputs))
 
 
 def gather_v(
@@ -175,7 +196,8 @@ def gather_v(
     rcounts: Sequence[int],
     displs: Sequence[int],
 ) -> None:
-    for i, buf in enumerate(inputs):
+    staged = _stage_if_aliased(list(inputs), [root_output])
+    for i, buf in enumerate(staged):
         cnt = rcounts[i]
         if buf.size < cnt:
             raise ValueError(f"gather_v: rank {i} buffer smaller than rcount")
@@ -189,7 +211,7 @@ def scatter(root_input: np.ndarray, outputs: Sequence[np.ndarray]) -> None:
     if root_input.size % p != 0:
         raise ValueError("scatter: root size not divisible by ranks")
     chunk = root_input.size // p
-    staged = np.array(root_input, copy=True)
+    staged = _stage_if_aliased([root_input], outputs)[0]
     for i, out in enumerate(outputs):
         if out.size != chunk:
             raise ValueError("scatter: output size mismatch")
@@ -202,7 +224,7 @@ def scatter_v(
     scounts: Sequence[int],
     displs: Sequence[int],
 ) -> None:
-    staged = np.array(root_input, copy=True)
+    staged = _stage_if_aliased([root_input], outputs)[0]
     for i, out in enumerate(outputs):
         cnt = scounts[i]
         if displs[i] + cnt > staged.size:

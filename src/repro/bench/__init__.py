@@ -15,10 +15,22 @@ from repro.bench.microbench import (
 from repro.bench.perfregress import SCENARIOS as PERF_SCENARIOS
 from repro.bench.perfregress import run_scenarios
 from repro.bench.reporting import Report, format_table, save_report
+from repro.bench.sweep import (
+    SWEEP_SCHEMA_VERSION,
+    SweepCache,
+    SweepOutcome,
+    SweepStats,
+    run_sweep,
+)
 
 __all__ = [
     "PERF_SCENARIOS",
     "run_scenarios",
+    "run_sweep",
+    "SweepCache",
+    "SweepOutcome",
+    "SweepStats",
+    "SWEEP_SCHEMA_VERSION",
     "framework_latency_us",
     "omb_latency_us",
     "overhead_pct",

@@ -15,6 +15,7 @@ Measurement methodology (paper §VI-A):
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.backends.base import create_backend
@@ -27,6 +28,19 @@ from repro.sim.simulator import Simulator
 MICRO_MESSAGE_SIZES = tuple(1024 * (2**i) for i in range(17))
 
 
+@lru_cache(maxsize=256)
+def _cost_backend(backend_name: str, world_size: int, system: SystemSpec):
+    """One cost-query backend per (name, world size, system).
+
+    Sweeps call :func:`omb_latency_us` once per message size; building a
+    fresh backend per cell defeated the per-(class, system) cost memo
+    the same way the pre-hoist analytic tuner did (see
+    ``Tuner._analytic_backends``).  Cost queries never mutate the
+    backend, so one shared rank-0 instance serves every sweep.
+    """
+    return create_backend(backend_name, 0, world_size, system)
+
+
 def omb_latency_us(
     system: SystemSpec,
     backend_name: str,
@@ -36,7 +50,7 @@ def omb_latency_us(
     nonblocking: bool = False,
 ) -> float:
     """C-level reference latency of one collective (no framework)."""
-    backend = create_backend(backend_name, 0, world_size, system)
+    backend = _cost_backend(backend_name, world_size, system)
     path = system.comm_path(world_size)
     raw = backend.collective_cost_us(
         family, nbytes, world_size, path, nonblocking=nonblocking
@@ -147,6 +161,48 @@ def framework_overhead_pct(
     return overhead_pct(framework, omb)
 
 
+def _omb_cell(context: tuple, unit: tuple) -> float:
+    """Sweep-engine worker: one (backend, message size) OMB cell.
+    Top-level so the spawn pool can pickle it by reference."""
+    system, family_value, world_size, nonblocking = context
+    backend, msg = unit
+    return omb_latency_us(
+        system, backend, OpFamily(family_value), msg, world_size, nonblocking
+    )
+
+
+def _omb_cache_keys(
+    system: SystemSpec,
+    family: OpFamily,
+    world_size: int,
+    nonblocking: bool,
+    cells: Sequence[tuple],
+) -> list[str]:
+    from repro.bench.sweep import (
+        SWEEP_SCHEMA_VERSION,
+        calibration_fingerprint,
+        stable_hash,
+        system_fingerprint,
+    )
+
+    base = {
+        "schema": SWEEP_SCHEMA_VERSION,
+        "kind": "microbench",
+        "system": system_fingerprint(system),
+        "family": str(family),
+        "world_size": world_size,
+        "nonblocking": nonblocking,
+    }
+    backend_ctx = {
+        name: stable_hash({**base, "calibration": calibration_fingerprint(name)})
+        for name in {backend for backend, _ in cells}
+    }
+    return [
+        stable_hash({"ctx": backend_ctx[backend], "backend": backend, "msg": msg})
+        for backend, msg in cells
+    ]
+
+
 def sweep_backends(
     system: SystemSpec,
     backends: Sequence[str],
@@ -154,14 +210,33 @@ def sweep_backends(
     world_size: int,
     message_sizes: Sequence[int] = MICRO_MESSAGE_SIZES,
     nonblocking: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> dict[str, list[tuple[int, float]]]:
-    """Fig. 2: OMB latency series per backend over message sizes."""
+    """Fig. 2: OMB latency series per backend over message sizes.
+
+    Backend construction is hoisted out of the sweep loop (one cost
+    backend per name, via :func:`_cost_backend`); ``jobs``/``cache``
+    fan cells out / serve them from the on-disk sweep cache exactly as
+    :meth:`repro.core.tuner.Tuner.build_table` does.
+    """
+    from repro.bench.sweep import run_sweep
+
+    family = OpFamily(family)
+    cells = [(backend, msg) for backend in backends for msg in message_sizes]
+    outcome = run_sweep(
+        _omb_cell,
+        cells,
+        context=(system, family.value, world_size, nonblocking),
+        jobs=jobs,
+        cache=cache,
+        keys=(
+            _omb_cache_keys(system, family, world_size, nonblocking, cells)
+            if cache is not None
+            else None
+        ),
+    )
     out: dict[str, list[tuple[int, float]]] = {}
-    for backend in backends:
-        series = []
-        for msg in message_sizes:
-            series.append(
-                (msg, omb_latency_us(system, backend, family, msg, world_size, nonblocking))
-            )
-        out[backend] = series
+    for (backend, msg), latency in zip(cells, outcome.results):
+        out.setdefault(backend, []).append((msg, latency))
     return out

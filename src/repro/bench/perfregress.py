@@ -208,6 +208,82 @@ def tuner_sweep() -> dict:
     }
 
 
+@scenario("tune_sweep")
+def tune_sweep() -> dict:
+    """The sweep engine on a simulated-mode tuning sweep (paper C5).
+
+    Runs the same sweep three ways — serial cold, 4-worker-pool cold,
+    and warm from the on-disk sweep cache — and reports the wall-clock
+    of each plus the derived speedups.  The simulated fingerprint pins
+    the table picks and the byte-identity of all three runs: the engine
+    may only reschedule and cache work, never change a measurement.
+    ``scripts/perfgate.py`` gates ``parallel_speedup`` against a
+    configurable floor (on multi-core hosts) and requires the warm run
+    to recompute zero cells at near-zero cost.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from repro.backends.ops import OpFamily
+    from repro.bench.sweep import SweepCache
+    from repro.cluster import lassen
+    from repro.core import Tuner
+
+    system = lassen()
+    backends = ["nccl", "mvapich2-gdr"]
+    grid = dict(
+        world_sizes=[8],
+        message_sizes=[1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20],
+        ops=[OpFamily.ALLREDUCE, OpFamily.ALLTOALL],
+    )
+    jobs = 4
+
+    def sweep(**kwargs):
+        tuner = Tuner(system, backends, mode="simulated", iterations=3, warmup=1)
+        start = time.perf_counter()
+        report = tuner.build_table(**grid, **kwargs)
+        return report, time.perf_counter() - start
+
+    wall = time.perf_counter()
+    cache_dir = tempfile.mkdtemp(prefix="tune_sweep_cache_")
+    try:
+        serial, serial_s = sweep()
+        parallel, parallel_s = sweep(jobs=jobs, cache=SweepCache(cache_dir))
+        warm, warm_s = sweep(jobs=jobs, cache=SweepCache(cache_dir))
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    wall = time.perf_counter() - wall
+
+    tables_identical = (
+        json.dumps(serial.table.entries, sort_keys=True)
+        == json.dumps(parallel.table.entries, sort_keys=True)
+        == json.dumps(warm.table.entries, sort_keys=True)
+    )
+    samples_identical = serial.samples == parallel.samples == warm.samples
+    picks = {
+        f"{op.value}@8": serial.table.lookup(op.value, 8, 1 << 16)
+        for op in grid["ops"]
+    }
+    return {
+        "wall_s": wall,
+        "serial_wall_s": serial_s,
+        "parallel_wall_s": parallel_s,
+        "warm_wall_s": warm_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+        "warm_speedup": serial_s / warm_s if warm_s > 0 else 0.0,
+        "jobs": jobs,
+        "host_cpus": os.cpu_count() or 1,
+        "cells": serial.sweep_stats.units,
+        "cold_misses": parallel.sweep_stats.cache_misses,
+        "warm_hits": warm.sweep_stats.cache_hits,
+        "warm_recomputed": warm.sweep_stats.computed,
+        "sim_table_picks": picks,
+        "sim_tables_identical": tables_identical,
+        "sim_samples_identical": samples_identical,
+    }
+
+
 @scenario("dsmoe_step")
 def dsmoe_step() -> dict:
     from repro.cluster import lassen
@@ -269,10 +345,17 @@ def obs_overhead() -> dict:
 # ----------------------------------------------------------------------
 
 
+def _scenario_unit(repeats: int, name: str) -> dict:
+    """Sweep-engine worker: one scenario, measured in its own process.
+    Top-level so the spawn pool can pickle it by reference."""
+    return run_scenarios([name], repeats=repeats)[name]
+
+
 def run_scenarios(
     names: Optional[list[str]] = None,
     repeats: int = 3,
     progress: Optional[Callable[[str], None]] = None,
+    jobs: int = 1,
 ) -> dict:
     """Run the requested scenarios ``repeats`` times each.
 
@@ -281,6 +364,11 @@ def run_scenarios(
     and ``wall_runs_s`` keeps every sample.  Simulated ``sim_*`` values
     are asserted identical across repeats (the engine is deterministic;
     a mismatch means a real bug, so it raises immediately).
+
+    ``jobs > 1`` fans scenarios out over the sweep engine's spawn pool,
+    one scenario per work unit, merged back in request order.  Parallel
+    scenarios contend for the machine, so wall numbers are for quick
+    smoke runs, not for committing as a baseline.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
@@ -288,6 +376,18 @@ def run_scenarios(
     unknown = [n for n in chosen if n not in SCENARIOS]
     if unknown:
         raise KeyError(f"unknown scenario(s) {unknown}; have {sorted(SCENARIOS)}")
+    if jobs > 1 and len(chosen) > 1:
+        from repro.bench.sweep import run_sweep
+
+        outcome = run_sweep(_scenario_unit, chosen, context=repeats, jobs=jobs)
+        out = dict(zip(chosen, outcome.results))
+        if progress is not None:
+            for name, metrics in out.items():
+                progress(
+                    f"{name:<18} {metrics['wall_s']*1e3:9.1f} ms  "
+                    f"(best of {repeats}, parallel x{jobs})"
+                )
+        return out
     out: dict[str, dict] = {}
     for name in chosen:
         fn = SCENARIOS[name]
@@ -413,9 +513,12 @@ def main(argv: Optional[list[str]] = None) -> int:  # pragma: no cover - thin CL
     parser.add_argument("--out", default="BENCH_simulator.json")
     parser.add_argument("--label", choices=["before", "after"], default="after")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--scenario", nargs="+", dest="names", default=None)
     args = parser.parse_args(argv)
-    results = run_scenarios(args.names, repeats=args.repeats, progress=print)
+    results = run_scenarios(
+        args.names, repeats=args.repeats, progress=print, jobs=args.jobs
+    )
     data = merge_results(args.out, args.label, results)
     print(f"[{args.label}] {len(results)} scenario(s) -> {args.out}")
     print(render_comparison(data))

@@ -107,8 +107,14 @@ def cmd_tune(args: argparse.Namespace) -> int:
     ops = [OpFamily(o) for o in args.ops]
     tuner = Tuner(_system(args.system), args.backends, mode=args.mode)
     sizes = [256 * (2**i) for i in range(args.num_sizes)]
+    cache = None
+    if args.cache:
+        from repro.bench.sweep import SweepCache
+
+        cache = SweepCache(args.cache)
     report = tuner.build_table(
-        world_sizes=args.world_sizes, message_sizes=sizes, ops=ops
+        world_sizes=args.world_sizes, message_sizes=sizes, ops=ops,
+        jobs=args.jobs, cache=cache,
     )
     report.table.save(args.out)
     print(
@@ -116,6 +122,17 @@ def cmd_tune(args: argparse.Namespace) -> int:
         f"({len(ops)} ops x {len(args.world_sizes)} scales x {len(sizes)} sizes) "
         f"-> {args.out}"
     )
+    stats = report.sweep_stats
+    if stats is not None and (cache is not None or stats.jobs > 1):
+        line = f"sweep: {stats.computed}/{stats.units} cells computed"
+        if cache is not None:
+            line += (
+                f", cache {stats.cache_hits} hit(s) / "
+                f"{stats.cache_misses} miss(es) in {args.cache}"
+            )
+        if stats.jobs > 1:
+            line += f", {stats.jobs} worker(s)"
+        print(line, file=sys.stderr)
     for op in args.ops:
         for ws in args.world_sizes:
             rows = report.table.rows(op, ws)
@@ -239,7 +256,7 @@ def cmd_perf(args: argparse.Namespace) -> int:
     from repro.bench import perfregress
 
     results = perfregress.run_scenarios(
-        args.scenarios, repeats=args.repeats, progress=print
+        args.scenarios, repeats=args.repeats, progress=print, jobs=args.jobs
     )
     data = perfregress.merge_results(args.out, args.label, results)
     print(f"[{args.label}] {len(results)} scenario(s) -> {args.out}")
@@ -270,6 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--num-sizes", type=int, default=12)
     tune.add_argument("--mode", choices=["analytic", "simulated"], default="analytic")
     tune.add_argument("--out", default="tuning_table.json")
+    tune.add_argument(
+        "--jobs", type=int, default=1,
+        help="fan sweep cells out over N spawn-pool workers (default: "
+        "serial; results are byte-identical either way)",
+    )
+    tune.add_argument(
+        "--cache", default=None, metavar="DIR", nargs="?", const=".sweep_cache",
+        help="content-addressed on-disk sweep cache directory; re-tuning "
+        "recomputes only cells whose system/calibration/config inputs "
+        "changed (bare --cache uses ./.sweep_cache)",
+    )
     tune.set_defaults(func=cmd_tune)
 
     micro = sub.add_parser("micro", help="OMB-style micro-benchmark (paper Fig. 2)")
@@ -328,6 +356,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="which side of the comparison this run records",
     )
     perf.add_argument("--repeats", type=int, default=3)
+    perf.add_argument(
+        "--jobs", type=int, default=1,
+        help="run scenarios in parallel worker processes (quick smoke "
+        "runs only — parallel wall numbers are contended)",
+    )
     perf.add_argument(
         "--scenarios", nargs="+", default=None,
         help="subset of scenarios to run (default: all)",

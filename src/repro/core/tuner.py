@@ -13,6 +13,14 @@ Two measurement modes:
 * ``analytic`` — prices the operation directly from the backend cost
   model plus per-call overheads.  Orders of magnitude faster for wide
   sweeps; the test suite verifies both modes agree on rankings.
+
+Sweeps are embarrassingly parallel — every cell is a pure function of
+its coordinates — so :meth:`Tuner.build_table` decomposes the grid into
+picklable work units and hands them to the
+:mod:`repro.bench.sweep` engine: ``jobs=N`` fans cells out over a
+spawn pool, ``cache=`` serves unchanged cells from the content-addressed
+on-disk cache.  The merge replays the exact serial ordering, so the
+resulting table and report are byte-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.cluster.topology import SystemSpec
 from repro.core.config import MCRConfig
 from repro.core.exceptions import TuningError
 from repro.core.tuning import TuningTable
+from repro.obs.metrics import ObsEvent
 
 #: default sweep, 256 B .. 64 MiB in powers of two
 DEFAULT_MESSAGE_SIZES = tuple(256 * (2**i) for i in range(19))
@@ -59,6 +68,10 @@ class TuningReport:
 
     table: TuningTable
     samples: list[TuningSample] = field(default_factory=list)
+    #: execution statistics from the sweep engine (jobs, cache hits /
+    #: misses); excluded from equality so parallel and cached runs
+    #: compare equal to serial ones when their measurements agree
+    sweep_stats: Optional[object] = field(default=None, compare=False)
 
     def samples_for(self, op: str, world_size: int, msg_bytes: int) -> list[TuningSample]:
         return [
@@ -120,6 +133,62 @@ _SIM_OP_RUNNERS = {
         b, bufs.x, bufs.big if ctx.rank == 0 else None, root=0
     ),
 }
+
+
+class _SweepContext:
+    """Picklable measurement context shipped once to each pool worker.
+
+    Reconstructs (and memoizes) a :class:`Tuner` on first use in each
+    process; the serial path binds the issuing tuner instead so the
+    in-process sweep reuses its per-instance backend memo exactly as
+    before.
+    """
+
+    def __init__(
+        self,
+        system: SystemSpec,
+        backends: Sequence[str],
+        config: MCRConfig,
+        mode: str,
+        iterations: int,
+        warmup: int,
+    ):
+        self.system = system
+        self.backends = tuple(backends)
+        self.config = config
+        self.mode = mode
+        self.iterations = iterations
+        self.warmup = warmup
+        self._tuner: Optional["Tuner"] = None
+
+    def bind(self, tuner: "Tuner") -> None:
+        self._tuner = tuner
+
+    def tuner(self) -> "Tuner":
+        if self._tuner is None:
+            self._tuner = Tuner(
+                self.system,
+                list(self.backends),
+                config=self.config,
+                mode=self.mode,
+                iterations=self.iterations,
+                warmup=self.warmup,
+            )
+        return self._tuner
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_tuner"] = None  # never ship the memoized tuner
+        return state
+
+
+def _measure_cell(context: _SweepContext, unit: tuple) -> float:
+    """Sweep-engine worker: measure one (op, world size, msg, backend)
+    cell.  Top-level so the spawn pool can pickle it by reference."""
+    op_value, world_size, msg_bytes, backend = unit
+    return context.tuner().measure(
+        backend, OpFamily(op_value), msg_bytes, world_size
+    )
 
 
 class Tuner:
@@ -214,47 +283,134 @@ class Tuner:
 
     # -- sweep ------------------------------------------------------------
 
+    def _cache_keys(self, cells: Sequence[tuple]) -> list[str]:
+        """One content hash per cell: measurement context + the
+        backend's calibration constants + the cell coordinates."""
+        from repro.bench.sweep import (
+            SWEEP_SCHEMA_VERSION,
+            calibration_fingerprint,
+            config_fingerprint,
+            stable_hash,
+            system_fingerprint,
+        )
+
+        base = {
+            "schema": SWEEP_SCHEMA_VERSION,
+            "kind": "tuning",
+            "system": system_fingerprint(self.system),
+            "config": config_fingerprint(self.config),
+            "mode": self.mode,
+            "iterations": self.iterations,
+            "warmup": self.warmup,
+        }
+        # hash the per-backend context once, not once per cell
+        backend_ctx = {
+            name: stable_hash({**base, "calibration": calibration_fingerprint(name)})
+            for name in self.backends
+        }
+        return [
+            stable_hash(
+                {
+                    "ctx": backend_ctx[backend],
+                    "op": op_value,
+                    "world_size": ws,
+                    "msg_bytes": msg,
+                    "backend": backend,
+                }
+            )
+            for (op_value, ws, msg, backend) in cells
+        ]
+
     def build_table(
         self,
         world_sizes: Sequence[int],
         message_sizes: Sequence[int] = DEFAULT_MESSAGE_SIZES,
         ops: Sequence[OpFamily] = DEFAULT_OPS,
+        jobs: int = 1,
+        cache=None,
     ) -> TuningReport:
-        """Benchmark every combination and record the per-cell winner."""
+        """Benchmark every combination and record the per-cell winner.
+
+        ``jobs > 1`` fans independent cells out over a spawn pool;
+        ``cache`` (a :class:`repro.bench.sweep.SweepCache`) serves
+        already-measured cells from disk.  Both preserve byte-identical
+        output relative to a serial, uncached sweep.
+        """
+        from repro.bench.sweep import run_sweep
+
         bad = [ws for ws in world_sizes if ws < 2]
         if bad:
             # validate before measuring anything so a bad sweep cannot
             # leave a partially populated report behind
             raise TuningError(f"tuning needs world sizes >= 2, got {bad}")
+
+        # decompose into picklable units in the exact serial order
+        cells = [
+            (str(op), ws, msg, backend)
+            for op in ops
+            for ws in world_sizes
+            for msg in message_sizes
+            for backend in self.backends
+        ]
+        context = _SweepContext(
+            self.system, self.backends, self.config,
+            self.mode, self.iterations, self.warmup,
+        )
+        if jobs <= 1:
+            # serial sweeps measure through *this* tuner, preserving its
+            # per-instance analytic-backend memo across build_table calls
+            context.bind(self)
+        outcome = run_sweep(
+            _measure_cell,
+            cells,
+            context=context,
+            jobs=jobs,
+            cache=cache,
+            keys=self._cache_keys(cells) if cache is not None else None,
+            metrics=self.metrics,
+        )
+
+        # deterministic merge: replay the serial loop order over the
+        # index-aligned results, so samples, winners, and tie-breaks are
+        # byte-identical no matter how the cells were computed
         table = TuningTable(system=self.system.name)
-        report = TuningReport(table=table)
+        report = TuningReport(table=table, sweep_stats=outcome.stats)
+        latencies = outcome.results
+        index = 0
         for op in ops:
             for ws in world_sizes:
                 for msg in message_sizes:
                     best_backend, best_latency = None, float("inf")
+                    cell_samples = []
                     for backend in self.backends:
-                        latency = self.measure(backend, op, msg, ws)
-                        report.samples.append(
+                        latency = latencies[index]
+                        index += 1
+                        cell_samples.append(
                             TuningSample(str(op), backend, ws, msg, latency)
                         )
-                        if self.metrics is not None:
-                            from repro.obs.metrics import ObsEvent
-
-                            self.metrics.observe(
-                                ObsEvent(
-                                    kind="tuning",
-                                    rank=-1,
-                                    stream="",
-                                    backend=backend,
-                                    family=str(op),
-                                    nbytes=msg,
-                                    step=-1,
-                                    start=0.0,
-                                    end=latency,
-                                    detail=f"ws={ws}",
-                                )
-                            )
                         if latency < best_latency:
                             best_backend, best_latency = backend, latency
+                    report.samples.extend(cell_samples)
+                    self._observe_cell(cell_samples)
                     table.add(str(op), ws, msg, best_backend)
         return report
+
+    def _observe_cell(self, cell_samples: Sequence[TuningSample]) -> None:
+        """Batch-report one merged cell's samples as tuning events."""
+        if self.metrics is None:
+            return
+        for s in cell_samples:
+            self.metrics.observe(
+                ObsEvent(
+                    kind="tuning",
+                    rank=-1,
+                    stream="",
+                    backend=s.backend,
+                    family=s.op,
+                    nbytes=s.msg_bytes,
+                    step=-1,
+                    start=0.0,
+                    end=s.latency_us,
+                    detail=f"ws={s.world_size}",
+                )
+            )

@@ -226,6 +226,11 @@ class MetricsRegistry:
             self.inc(f"fusion.{event.family}")
             self.inc("fusion.bytes", event.nbytes)
         elif kind == "tuning":
+            if event.family == "sweep_cache":
+                # sweep-engine cache effectiveness: one aggregated event
+                # per run and outcome, count carried in ``nbytes``
+                self.inc(f"tuning.cache.{event.detail}", event.nbytes)
+                return
             self.inc("tuning.samples")
             self.histogram(f"tuning.latency_us.{event.family}").record(
                 event.duration

@@ -67,6 +67,29 @@ class TestMicrobench:
         assert effective_nbytes(1024, 8) == 1024  # exact multiple untouched
         assert effective_nbytes(1, 8) == 32  # floor: one element per rank
 
+    def test_sweep_constructs_one_backend_per_name(self, monkeypatch):
+        # perf guard: backend construction is hoisted out of the sweep
+        # loop — a 17-size sweep must not build 17 backends per name
+        from repro.bench import microbench
+
+        built = []
+        real = microbench.create_backend
+
+        def counting(name, rank, world_size, system):
+            built.append(name)
+            return real(name, rank, world_size, system)
+
+        microbench._cost_backend.cache_clear()
+        monkeypatch.setattr(microbench, "create_backend", counting)
+        try:
+            sweep_backends(
+                lassen(), ["nccl", "gloo"], OpFamily.ALLREDUCE, 8,
+                message_sizes=[1024 * (2**i) for i in range(8)],
+            )
+            assert sorted(built) == ["gloo", "nccl"]
+        finally:
+            microbench._cost_backend.cache_clear()
+
     def test_overhead_prices_both_sides_at_one_payload(self):
         # regression: the framework side floored 60 bytes to 32 while the
         # OMB reference was still priced at 60, comparing the two sides

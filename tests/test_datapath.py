@@ -209,3 +209,82 @@ class TestReduceOpApply:
     def test_integer_sum(self):
         arrays = [np.array([1, 2], dtype=np.int64), np.array([3, 4], dtype=np.int64)]
         assert np.array_equal(ReduceOp.SUM.apply(arrays), [4, 6])
+
+
+class TestAliasing:
+    """The aliasing-aware staging path (``_stage_if_aliased``).
+
+    Staging copies are made only when an input view actually overlaps
+    an output view; these tests pin both halves of that contract — no
+    copies for disjoint buffers, correct results for aliased ones.
+    """
+
+    def test_stage_returns_same_objects_when_disjoint(self):
+        srcs = [np.arange(4, dtype=np.float32) for _ in range(3)]
+        dsts = [np.zeros(4, dtype=np.float32) for _ in range(3)]
+        staged = datapath._stage_if_aliased(srcs, dsts)
+        assert all(s is orig for s, orig in zip(staged, srcs))
+
+    def test_stage_copies_everything_on_overlap(self):
+        pool = np.zeros(8, dtype=np.float32)
+        srcs = [pool[:4], np.arange(4, dtype=np.float32)]
+        dsts = [pool[4:], pool[:4]]
+        staged = datapath._stage_if_aliased(srcs, dsts)
+        assert all(
+            not np.shares_memory(s, d) for s in staged for d in dsts
+        )
+        assert np.array_equal(staged[1], srcs[1])
+
+    def test_all_reduce_aliased_matches_fresh(self):
+        p, n = 4, 8
+        ins = bufs(p, n, lambda r, i: r * 10.0 + i)
+        fresh_out = [np.zeros(n, dtype=np.float32) for _ in range(p)]
+        datapath.all_reduce([b.copy() for b in ins], fresh_out, ReduceOp.SUM)
+        datapath.all_reduce(ins, ins, ReduceOp.SUM)  # fully in place
+        for got, want in zip(ins, fresh_out):
+            assert np.array_equal(got, want)
+
+    def test_reduce_scatter_outputs_view_inputs(self):
+        p, n = 4, 8
+        ins = bufs(p, n, lambda r, i: r + i * 2.0)
+        fresh_out = [np.zeros(n // p, dtype=np.float32) for _ in range(p)]
+        datapath.reduce_scatter([b.copy() for b in ins], fresh_out, ReduceOp.SUM)
+        # each rank receives its chunk into a view of its own input
+        aliased_out = [ins[r][: n // p] for r in range(p)]
+        datapath.reduce_scatter(ins, aliased_out, ReduceOp.SUM)
+        for got, want in zip(aliased_out, fresh_out):
+            assert np.array_equal(got, want)
+
+    def test_all_to_all_single_fully_in_place(self):
+        p, n = 4, 8
+        ins = bufs(p, n, lambda r, i: r * 100.0 + i)
+        fresh_out = [np.zeros(n, dtype=np.float32) for _ in range(p)]
+        datapath.all_to_all_single([b.copy() for b in ins], fresh_out)
+        datapath.all_to_all_single(ins, ins)  # outputs alias inputs
+        for got, want in zip(ins, fresh_out):
+            assert np.array_equal(got, want)
+
+    def test_all_to_all_single_disjoint_makes_no_copies(self, monkeypatch):
+        copies = []
+        real = np.array
+
+        def counting_array(obj, *args, **kwargs):
+            if kwargs.get("copy"):
+                copies.append(obj)
+            return real(obj, *args, **kwargs)
+
+        monkeypatch.setattr(datapath.np, "array", counting_array)
+        p, n = 4, 8
+        ins = bufs(p, n, lambda r, i: r * 100.0 + i)
+        outs = [np.zeros(n, dtype=np.float32) for _ in range(p)]
+        datapath.all_to_all_single(ins, outs)
+        assert copies == []  # disjoint buffers: zero staging copies
+
+    def test_gather_v_root_output_aliases_an_input(self):
+        # regression: gather_v never staged, so a root output
+        # overlapping a contributing buffer could read corrupted data
+        pool = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float32)
+        ins = [np.array([9.0, 9.0], dtype=np.float32), pool[:2]]
+        root = pool  # rank 1's buffer is a view of the root output
+        datapath.gather_v(ins, root, [2, 2], [0, 2])
+        assert np.array_equal(root, [9, 9, 1, 2])

@@ -22,6 +22,7 @@ def test_scenario_registry_complete():
         "tuner_sweep",
         "dsmoe_step",
         "obs_overhead",
+        "tune_sweep",
     }
 
 
