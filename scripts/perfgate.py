@@ -18,6 +18,11 @@ compares them against the ``after`` side of the committed
   (default 5%, the paper's C3 overhead budget) fails the gate.  It is
   run even when absent from the baseline so older baselines still gate
   the budget.
+* **dispatch plan cache**: the ``dispatch_cache`` scenario runs a
+  steady-state loop with the plan cache on and force-disabled.  The two
+  runs must agree on simulated time, and the steady-state plan hit rate
+  must meet ``--plan-hit-floor`` (default 0.95).  Like ``obs_overhead``,
+  it runs even when absent from the baseline.
 * **sweep engine**: the ``tune_sweep`` scenario runs the same
   simulated-mode tuning sweep serial, parallel (4 workers), and warm
   from the on-disk sweep cache.  The warm run must recompute **zero**
@@ -58,6 +63,9 @@ OBS_SCENARIO = "obs_overhead"
 #: scenario carrying the sweep engine's parallel / warm-cache contract
 TUNE_SCENARIO = "tune_sweep"
 
+#: scenario carrying the dispatch plan cache's steady-state contract
+PLAN_SCENARIO = "dispatch_cache"
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -71,6 +79,7 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-budget-pct", type=float, default=5.0)
     parser.add_argument("--sweep-floor", type=float, default=1.3)
     parser.add_argument("--sweep-warm-pct", type=float, default=25.0)
+    parser.add_argument("--plan-hit-floor", type=float, default=0.95)
     args = parser.parse_args(argv)
 
     data = perfregress.load(args.baseline)
@@ -84,6 +93,8 @@ def main(argv=None) -> int:
         chosen.add(OBS_SCENARIO)  # budget-gated even without a baseline
     if TUNE_SCENARIO in perfregress.SCENARIOS:
         chosen.add(TUNE_SCENARIO)  # sweep-gated even without a baseline
+    if PLAN_SCENARIO in perfregress.SCENARIOS:
+        chosen.add(PLAN_SCENARIO)  # plan-gated even without a baseline
     fresh = perfregress.run_scenarios(sorted(chosen), repeats=args.repeats, progress=print)
 
     failures = []
@@ -176,6 +187,27 @@ def main(argv=None) -> int:
             f"{tune.get('warm_speedup', 0.0):.0f}x "
             f"({warm_pct:.1f}% of serial, {recomputed} cell(s) recomputed)"
         )
+
+    plan = fresh.get(PLAN_SCENARIO)
+    if plan is not None and "plan_hit_rate" in plan:
+        if not plan.get("sim_cached_equals_uncached", False):
+            failures.append(
+                f"{PLAN_SCENARIO}: cached and uncached dispatch produced "
+                "different simulated times"
+            )
+        rate = plan["plan_hit_rate"]
+        if rate < args.plan_hit_floor:
+            failures.append(
+                f"{PLAN_SCENARIO}: steady-state plan hit rate {rate:.3f} "
+                f"below the {args.plan_hit_floor:.2f} floor"
+            )
+        else:
+            print(
+                f"\nplan cache: hit rate {rate:.3f} "
+                f"({plan.get('plan_hits', 0)} hits / "
+                f"{plan.get('plan_misses', 0)} misses, "
+                "cached == uncached simulated time)"
+            )
 
     if failures:
         print("\nperfgate FAILED:", file=sys.stderr)

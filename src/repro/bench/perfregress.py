@@ -21,6 +21,11 @@ Scenarios
     A tight all-reduce loop through the full runtime (communicator,
     rendezvous, streams, cost model) on virtual tensors at three scales.
 
+``dispatch_cache``
+    The same steady-state loop with the dispatch plan cache on and
+    force-disabled: ops/s, plan hit rate, and cached-vs-uncached
+    simulated-time identity (part of the fingerprint).
+
 ``tuner_sweep``
     Three consecutive analytic ``Tuner.build_table`` sweeps — dominated
     by the collective cost model.  Repetition is the point: benchmark
@@ -165,6 +170,64 @@ def allreduce_ws64() -> dict:
 @scenario("allreduce_ws128")
 def allreduce_ws128() -> dict:
     return _allreduce_loop(128, 15)
+
+
+@scenario("dispatch_cache")
+def dispatch_cache() -> dict:
+    """Steady-state dispatch through the plan cache (paper §V-E).
+
+    Runs the same alternating-backend allreduce loop twice — plans
+    cached (the default) and force-disabled — and reports the cached
+    ops/s, the plan hit rate, and whether the two runs produced the same
+    simulated completion time.  The identity is part of the simulated
+    fingerprint: the cache may only skip re-derivation, never change a
+    timing.  ``scripts/perfgate.py`` gates the hit rate against
+    ``--plan-hit-floor`` (steady state must be >= 0.95).
+    """
+    from repro.cluster import lassen
+    from repro.core import MCRCommunicator
+    from repro.core.config import MCRConfig
+    from repro.sim import Simulator
+
+    world_size, iters = 16, 80
+    stats: dict = {}
+
+    def loop(plan_cache: bool) -> tuple[float, float]:
+        def main(ctx):
+            comm = MCRCommunicator(
+                ctx,
+                ["nccl", "mvapich2-gdr"],
+                config=MCRConfig(plan_cache=plan_cache),
+            )
+            x = ctx.virtual_tensor(262_144)  # 1 MiB fp32
+            for i in range(iters):
+                comm.all_reduce("nccl" if i % 2 else "mvapich2-gdr", x)
+            comm.synchronize()
+            if plan_cache and ctx.rank == 0:
+                stats.update(comm.plan_stats)
+            comm.finalize()
+            return ctx.now
+
+        sim = Simulator(world_size, system=lassen())
+        start = time.perf_counter()
+        result = sim.run(main)
+        return result.rank_results[0], time.perf_counter() - start
+
+    cached_us, cached_s = loop(True)
+    uncached_us, uncached_s = loop(False)
+    ops = world_size * iters
+    total = stats.get("hits", 0) + stats.get("misses", 0)
+    return {
+        "wall_s": cached_s,
+        "uncached_wall_s": uncached_s,
+        "ops": ops,
+        "ops_per_s": ops / cached_s if cached_s > 0 else 0.0,
+        "plan_hits": stats.get("hits", 0),
+        "plan_misses": stats.get("misses", 0),
+        "plan_hit_rate": round(stats.get("hits", 0) / total, 6) if total else 0.0,
+        "sim_final_us": cached_us,
+        "sim_cached_equals_uncached": cached_us == uncached_us,
+    }
 
 
 @scenario("tuner_sweep")

@@ -115,8 +115,24 @@ def get_rank(backend: Optional[str] = None) -> int:
 
 
 def set_tuning_table(table: TuningTable) -> None:
-    """Install/replace the tuning table consulted by the "auto" backend."""
+    """Install/replace the tuning table consulted by the "auto" backend.
+
+    Plan-invalidating: every compiled dispatch plan recompiles against
+    the new table on its next use.
+    """
     _comm().tuning_table = table
+
+
+def invalidate_plans(reason: str = "") -> None:
+    """Force recompilation of this rank's compiled dispatch plans.
+
+    Rarely needed — tuning-table installs, in-place table edits,
+    quarantines, and codec/synchronization changes invalidate
+    automatically — but required after out-of-band mutations the
+    communicator snapshots at compile time (e.g. installing a
+    link-degradation schedule on the SystemSpec mid-run).
+    """
+    _comm().invalidate_plans(reason)
 
 
 def new_group(ranks, comm_id: str) -> MCRCommunicator:

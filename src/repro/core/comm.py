@@ -11,6 +11,16 @@ per-backend sequence number, exactly like communicator-ordered
 collective calls in NCCL/MPI: symmetric programs match up, mismatched
 programs deadlock (and the engine reports it), and argument mismatches
 raise :class:`~repro.core.exceptions.ValidationError` at the rendezvous.
+
+Steady-state dispatch runs through a compile-once plan cache
+(:class:`CommPlan`): everything derivable from a call's signature alone
+— resolved backend, interned labels, dispatch cost, codec arithmetic,
+stream placement, tagged rendezvous meta — is snapshotted on first post
+and re-used per call, the way MPI-4 persistent operations and pre-built
+communication plans amortize per-call setup (paper §V-E).  A single
+plan epoch, bumped on tuning-table installs, quarantines, and
+codec/synchronization changes, keeps degraded-mode behavior and
+simulated timings bit-identical to the uncached path.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ import numpy as np
 from repro.backends import datapath
 from repro.backends.base import Backend, canonical_name, create_backend
 from repro.backends.ops import OpFamily, ReduceOp
-from repro.core.config import MCRConfig
+from repro.core.config import CompressionConfig, MCRConfig
 from repro.core.exceptions import (
     BackendError,
     CommTimeoutError,
@@ -42,6 +52,47 @@ from repro.tensor import SimTensor
 
 #: stand-in data-plane buffer for virtual (timing-only) tensors
 _VIRTUAL_BUF = np.empty(0, dtype=np.float32)
+
+
+@dataclass(slots=True)
+class CommPlan:
+    """One compiled dispatch plan (paper §V-E persistent-op amortization).
+
+    Snapshots everything :meth:`MCRCommunicator._collective` can derive
+    from the call signature alone, keyed per (requested backend, op
+    family, rendezvous meta, nbytes, vector/force_host/compressible,
+    timing-only) so a steady-state training step pays one dict lookup
+    instead of re-deriving tuning choice, labels, codec arithmetic, and
+    stream placement on every post.
+
+    Validity is epoch-based: ``epoch`` must match the communicator's
+    plan epoch (bumped on tuning-table installs, quarantines, and
+    codec/synchronization changes), and plans compiled through the
+    ``"auto"`` path additionally pin the tuning table's generation so
+    in-place table edits (``add``/``merge``) recompile without an
+    explicit reinstall.  Compilation itself never advances the virtual
+    clock, so cached and uncached dispatch are byte-identical.
+    """
+
+    epoch: int
+    #: tuning-table generation consulted at compile time; -1 when the
+    #: plan did not go through the table (explicit backend, or no table)
+    table_generation: int
+    backend: Backend
+    #: backend name after §V-F resolution but *before* the fault gate —
+    #: the reference point for "reroute" dispatch attribution
+    resolved_name: str
+    label: str
+    dispatch_reason: str
+    #: dispatch attribution when the fault gate does not reroute
+    dispatch_kind: str
+    dispatch_cost_us: float
+    codec: object
+    wire_bytes: int
+    codec_us: float
+    stream_kind: bool
+    #: rendezvous meta with the virtual/real data-plane tag appended
+    meta_tagged: tuple
 
 
 @dataclass(slots=True)
@@ -123,7 +174,18 @@ class MCRCommunicator:
         self.config = config or MCRConfig()
         self.config.validate()
         self.comm_id = comm_id
-        self.tuning_table = tuning_table
+
+        # dispatch plan cache: compiled plans keyed by call signature,
+        # invalidated as one epoch (see CommPlan).  Initialized before
+        # the tuning table so the table property's epoch bump has state
+        # to act on.
+        self._plans: dict[tuple, CommPlan] = {}
+        self._plan_epoch = 0
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._plan_invalidations = 0
+        self._plan_cache_on = self.config.plan_cache
+        self._tuning_table = tuning_table
 
         # process group: the rank subset this communicator spans (like an
         # MPI sub-communicator / torch.distributed process group)
@@ -171,9 +233,6 @@ class MCRCommunicator:
         #: interned (label, dispatch reason) per (op, backend) — these
         #: strings sit on the per-op hot path and never change
         self._op_labels: dict[tuple, tuple[str, str]] = {}
-        #: persistent-collective dispatch discount (ext.persistent swaps
-        #: this in around started ops)
-        self._persistent_scale: Optional[float] = None
 
         # fault injection / graceful degradation (repro.sim.faults): the
         # injector is installed into shared state by the Simulator; with
@@ -287,9 +346,90 @@ class MCRCommunicator:
         if self._finalized:
             return
         self.synchronize(backends)
+        self._flush_plan_stats()
         for backend in self.backends.values():
             backend.finalize()
         self._finalized = True
+
+    # ------------------------------------------------------------------
+    # dispatch plan cache (§V-E persistent-op amortization)
+    # ------------------------------------------------------------------
+
+    @property
+    def tuning_table(self) -> Optional[TuningTable]:
+        """The table consulted by ``"auto"`` dispatch (§V-F).
+
+        Assigning a new table invalidates every compiled plan; in-place
+        mutation of the installed table is caught per-lookup through the
+        table's generation counter instead.
+        """
+        return self._tuning_table
+
+    @tuning_table.setter
+    def tuning_table(self, table: Optional[TuningTable]) -> None:
+        self._tuning_table = table
+        self.invalidate_plans("tuning-table install/swap")
+
+    def invalidate_plans(self, reason: str = "") -> None:
+        """Bump the plan epoch: every compiled plan recompiles on next use.
+
+        Called automatically on tuning-table install/swap, backend
+        quarantine, and codec/synchronization changes.  Call it manually
+        after mutating state the communicator snapshots at construction
+        or compile time — e.g. installing a link-degradation schedule on
+        the SystemSpec mid-run — so the refreshed gates below take
+        effect with the same invalidation discipline as the plans.
+        """
+        self._plan_epoch += 1
+        self._plan_invalidations += 1
+        self._plans.clear()
+        self._link_faults = (
+            getattr(self.ctx.system, "link_degradation", None) is not None
+        )
+        injector = self.ctx.shared.get("fault_injector")
+        if injector is not None and not self._fault_gate:
+            self._injector = injector
+            self._fault_gate = True
+            from repro.ext.logging_ext import CommLogger
+
+            self._fault_log = CommLogger.shared(self.ctx)
+
+    def set_compression(self, compression: CompressionConfig) -> None:
+        """Enable/disable/retune lossy compression mid-run (§V-E).
+
+        Rebinds the codec and invalidates compiled plans so wire sizes
+        and codec costs recompute; mutating ``config.compression`` in
+        place would leave stale plans serving the old codec.
+        """
+        self.config.compression = compression
+        self._codec = None
+        if compression.enabled:
+            from repro.ext.compression import FixedRateCodec
+
+            self._codec = FixedRateCodec(compression.rate_bits)
+        self.invalidate_plans("codec change")
+
+    def set_synchronization(self, mode: str) -> None:
+        """Switch the synchronization scheme mid-run (Fig. 4a vs 4b).
+
+        Plan-invalidating: stream-vs-host placement is plan state.
+        """
+        self.config.synchronization = mode
+        self.config.validate()
+        self.invalidate_plans("synchronization change")
+
+    @property
+    def plan_stats(self) -> dict:
+        """Plan-cache effectiveness: hit/miss/invalidation counts, the
+        number of resident plans, and the steady-state hit rate."""
+        total = self._plan_hits + self._plan_misses
+        return {
+            "hits": self._plan_hits,
+            "misses": self._plan_misses,
+            "invalidations": self._plan_invalidations,
+            "plans": len(self._plans),
+            "hit_rate": self._plan_hits / total if total else 0.0,
+        }
 
     # ------------------------------------------------------------------
     # collectives (Listing 1)
@@ -818,6 +958,10 @@ class MCRCommunicator:
             return
         self._quarantined.add(backend.name)
         backend.fail(reason)
+        # a quarantine changes dispatch for every subsequent op (auto
+        # resolution skips the backend, explicit dispatch reroutes), so
+        # compiled plans must recompute from the degraded state
+        self.invalidate_plans(f"quarantine({backend.name})")
         self._record_fault("quarantine", backend.name, reason)
         if len(self._quarantined) == len(self.backends):
             raise BackendError(
@@ -936,19 +1080,165 @@ class MCRCommunicator:
             cached = self._op_labels[key] = (label, f"dispatch({label})")
         return cached
 
-    def _next_seq(self, backend_name: str, family: OpFamily) -> int:
-        key = backend_name
-        self._seq[key] += 1
-        return self._seq[key]
+    def _next_seq(self, backend_name: str) -> int:
+        # rendezvous sequence numbers are keyed per backend only:
+        # collective calls are communicator-ordered within a library
+        # regardless of op family, exactly like NCCL/MPI, so mixed-family
+        # programs stay matched as long as every rank posts the same
+        # op order (tests/test_plan_cache.py pins this down)
+        self._seq[backend_name] += 1
+        return self._seq[backend_name]
 
     def _dispatch_cost(self, backend: Backend) -> float:
-        cost = self.config.dispatch_overhead_us + backend.call_overhead_us()
-        scale = self._persistent_scale
-        if scale is not None:
-            # persistent collective start: the argument marshalling and
-            # plan negotiation were paid once at init (ext.persistent)
-            cost *= scale
-        return cost
+        return self.config.dispatch_overhead_us + backend.call_overhead_us()
+
+    def _plan_valid(self, plan: CommPlan) -> bool:
+        if plan.epoch != self._plan_epoch:
+            return False  # pragma: no cover - epoch bumps clear the dict
+        if plan.table_generation >= 0:
+            table = self._tuning_table
+            if table is None or table.generation != plan.table_generation:
+                self._plan_invalidations += 1
+                return False
+        return True
+
+    def _compile_plan(
+        self,
+        backend_name: str,
+        family: OpFamily,
+        nbytes: int,
+        meta: tuple,
+        vector: bool,
+        force_host: bool,
+        compressible: bool,
+        timing_only: bool,
+    ) -> CommPlan:
+        """Derive one dispatch plan from a call signature.
+
+        Pure with respect to simulated time — resolution, label
+        interning, codec arithmetic, and stream placement never advance
+        the clock — and arithmetic-identical to the historical per-call
+        derivation, so cached and uncached dispatch cannot diverge.
+        """
+        backend = self._resolve_backend(backend_name, family, nbytes)
+        label, dispatch_reason = self._op_label(family, backend.name)
+        # compression (§V-E): shrink the wire size, model codec kernels,
+        # and apply the real quantization error to the data
+        codec = None
+        wire_bytes = nbytes
+        codec_us = 0.0
+        if (
+            self._codec is not None
+            and compressible
+            and family.value in self.config.compression.families
+        ):
+            codec = self._codec
+            wire_bytes = codec.compressed_nbytes(nbytes)
+            codec_us = codec.codec_time_us(nbytes)
+        stream_kind = self.sync.uses_streams(backend) and not force_host
+        if self.config.synchronization == "naive":
+            stream_kind = not force_host  # posted to the default stream
+        table_generation = -1
+        if backend_name == "auto" and self._tuning_table is not None:
+            table_generation = self._tuning_table.generation
+        return CommPlan(
+            epoch=self._plan_epoch,
+            table_generation=table_generation,
+            backend=backend,
+            resolved_name=backend.name,
+            label=label,
+            dispatch_reason=dispatch_reason,
+            dispatch_kind="auto" if backend_name == "auto" else "explicit",
+            dispatch_cost_us=self._dispatch_cost(backend),
+            codec=codec,
+            wire_bytes=wire_bytes,
+            codec_us=codec_us,
+            stream_kind=stream_kind,
+            meta_tagged=(*meta, "virtual" if timing_only else "real"),
+        )
+
+    # -- persistent collectives (ext.persistent, §V-E) ---------------------
+
+    def _capture_collective(self, post, backend_name: str, *args, **kwargs) -> tuple:
+        """Init-time negotiation for a persistent collective: run the
+        public op with ``_collective`` intercepted so argument validation
+        happens once and the exact dispatch invocation is captured for
+        replay.  Nothing is posted and the clock does not move."""
+        captured: dict = {}
+
+        def recorder(*a, **kw):
+            captured["args"] = a
+            captured["kwargs"] = kw
+            return None
+
+        self._collective = recorder  # shadow the bound method
+        try:
+            post(backend_name, *args, async_op=True, **kwargs)
+        finally:
+            del self._collective
+        return captured["args"], captured["kwargs"]
+
+    def _plan_for_call(self, args: tuple, kwargs: dict) -> CommPlan:
+        """Compile (or fetch) the plan for a captured ``_collective``
+        invocation — the pin a :class:`~repro.ext.persistent.
+        PersistentCollective` holds."""
+        backend_name, family, nbytes = args[0], args[1], args[2]
+        meta = kwargs["meta"]
+        vector = kwargs.get("vector", False)
+        force_host = kwargs.get("force_host", False)
+        compressible = kwargs.get("compressible", True)
+        timing_only = any(
+            t is not None and t.is_virtual for t in kwargs.get("tensors", ())
+        )
+        if not self._plan_cache_on:
+            return self._compile_plan(
+                backend_name, family, nbytes, meta,
+                vector, force_host, compressible, timing_only,
+            )
+        pkey = (
+            backend_name, family, meta, nbytes,
+            vector, force_host, compressible, timing_only,
+        )
+        plan = self._plans.get(pkey)
+        if plan is None or not self._plan_valid(plan):
+            plan = self._compile_plan(
+                backend_name, family, nbytes, meta,
+                vector, force_host, compressible, timing_only,
+            )
+            self._plans[pkey] = plan
+        return plan
+
+    def _flush_plan_stats(self) -> None:
+        """Report plan-cache effectiveness to the observability registry
+        as aggregated events — one ``kind="plan"`` ObsEvent per outcome
+        with the count carried in ``nbytes``, mirroring the sweep-cache
+        reporting convention (zero events on the per-op hot path)."""
+        obs = self._obs
+        if obs is None:
+            return
+        from repro.obs.metrics import ObsEvent
+
+        now = self.ctx.now
+        for detail, count in (
+            ("hit", self._plan_hits),
+            ("miss", self._plan_misses),
+            ("invalidate", self._plan_invalidations),
+        ):
+            if count:
+                obs.observe(
+                    ObsEvent(
+                        kind="plan",
+                        rank=self.ctx.rank,
+                        stream="host",
+                        backend="",
+                        family="dispatch_plan",
+                        nbytes=count,
+                        step=-1,
+                        start=now,
+                        end=now,
+                        detail=detail,
+                    )
+                )
 
     def _collective(
         self,
@@ -965,6 +1255,7 @@ class MCRCommunicator:
         compressible: bool = True,
         extras: Optional[dict] = None,
         tensors: tuple = (),
+        dispatch_scale: float = 1.0,
     ) -> Optional[WorkHandle]:
         # virtual (timing-only) tensors: charge full communication time
         # but skip the data plane (workload modeling; see SimTensor docs)
@@ -976,33 +1267,64 @@ class MCRCommunicator:
         if self._finalized:
             raise MCRError("communicator already finalized")
         ctx = self.ctx
-        backend = self._resolve_backend(backend_name, family, nbytes)
-        resolved_name = backend.name
+
+        # plan lookup: steady state pays one dict probe; first post (or
+        # first post after an epoch bump) compiles.  The cache-off path
+        # compiles a throwaway plan through the same code, which is what
+        # keeps cached and uncached dispatch identical by construction.
+        if self._plan_cache_on:
+            pkey = (
+                backend_name, family, meta, nbytes,
+                vector, force_host, compressible, timing_only,
+            )
+            plan = self._plans.get(pkey)
+            if plan is not None and self._plan_valid(plan):
+                self._plan_hits += 1
+            else:
+                plan = self._compile_plan(
+                    backend_name, family, nbytes, meta,
+                    vector, force_host, compressible, timing_only,
+                )
+                self._plans[pkey] = plan
+                self._plan_misses += 1
+        else:
+            plan = self._compile_plan(
+                backend_name, family, nbytes, meta,
+                vector, force_host, compressible, timing_only,
+            )
+
+        backend = plan.backend
+        label = plan.label
+        dispatch_reason = plan.dispatch_reason
+        dispatch_cost = plan.dispatch_cost_us
+        stream_kind = plan.stream_kind
         if self._fault_gate or self._quarantined:
-            backend = self._admit_backend(backend, family, nbytes)
-        label, dispatch_reason = self._op_label(family, backend.name)
+            # the fault gate runs per call even on a plan hit: injector
+            # op counters must advance exactly as in the uncached path,
+            # and its retries/reroutes are call-local, never plan state
+            admitted = self._admit_backend(backend, family, nbytes)
+            if admitted is not backend:
+                backend = admitted
+                label, dispatch_reason = self._op_label(family, backend.name)
+                dispatch_cost = self._dispatch_cost(backend)
+                stream_kind = self.sync.uses_streams(backend) and not force_host
+                if self.config.synchronization == "naive":
+                    stream_kind = not force_host
         dispatch = (
-            self._dispatch_kind(backend_name, resolved_name, backend.name)
+            self._dispatch_kind(backend_name, plan.resolved_name, backend.name)
             if self.logger is not None
             else "explicit"
         )
 
-        # host dispatch: thin Python layer + backend call overhead (C3)
-        ctx.engine.sleep(self._dispatch_cost(backend), dispatch_reason)
+        # host dispatch: thin Python layer + backend call overhead (C3);
+        # persistent collectives replay at a discounted scale (§V-E)
+        if dispatch_scale != 1.0:
+            dispatch_cost *= dispatch_scale
+        ctx.engine.sleep(dispatch_cost, dispatch_reason)
 
-        # compression (§V-E): shrink the wire size, model codec kernels,
-        # and apply the real quantization error to the data
-        codec = None
-        wire_bytes = nbytes
-        codec_us = 0.0
-        if (
-            self._codec is not None
-            and compressible
-            and family.value in self.config.compression.families
-        ):
-            codec = self._codec
-            wire_bytes = codec.compressed_nbytes(nbytes)
-            codec_us = codec.codec_time_us(nbytes)
+        codec = plan.codec
+        wire_bytes = plan.wire_bytes
+        codec_us = plan.codec_us
 
         if self.world_size == 1:
             if not timing_only:
@@ -1020,13 +1342,10 @@ class MCRCommunicator:
 
     # rendezvous ---------------------------------------------------
 
-        stream_kind = self.sync.uses_streams(backend) and not force_host
-        if self.config.synchronization == "naive":
-            stream_kind = not force_host  # posted to the default stream
-        seq = self._next_seq(backend.name, family)
+        seq = self._next_seq(backend.name)
         key = (self.comm_id, backend.name, seq)
         rdv_table = self._shared["rdv"]
-        meta = (*meta, "virtual" if timing_only else "real")
+        meta = plan.meta_tagged
         rdv = rdv_table.get(key)
         if rdv is None:
             rdv = _Rendezvous(
@@ -1054,6 +1373,10 @@ class MCRCommunicator:
         stream_label = "host"
         if stream_kind:
             self.sync.pre_post(backend)
+            # pre_post may advance the host clock (naive-mode default
+            # stream sync); the arrival timestamp must reflect when the
+            # op was actually posted or flapping-link windows skew
+            arrival.host_time = ctx.now
             stream = self.sync.pick_stream(backend, wire_bytes)
             stream_label = stream.name
             producer = ctx.gpu.default_stream.last
@@ -1141,6 +1464,15 @@ class MCRCommunicator:
                 on_resolve()
                 self._trace_host_collective(ordered, label, start, end)
                 rdv.flag.fire(end)
+        elif member_node is not None and rdv.claimed:
+            # the pre-post host sync separates arrival registration from
+            # member enqueue, so the claiming rank can wake first and
+            # resolve() an incomplete group (a silent no-op).  The rank
+            # whose member completes the group must retry, or every host
+            # parks on a flag nobody will fire.
+            group = rdv.group
+            if group is not None and group.complete and not group._resolved:
+                resolve(group, ctx.engine)
 
         # wait() semantics: stream-aware libraries synchronize through
         # CUDA events (host never blocks); MPI libraries complete through

@@ -72,6 +72,14 @@ class MCRConfig:
     #: record every communication op (drives Figures 1 and 12)
     enable_logging: bool = False
 
+    #: compile-once dispatch plans (§V-E persistent-op amortization):
+    #: steady-state collectives reuse a cached plan instead of
+    #: re-deriving tuning choice, labels, codec arithmetic, and stream
+    #: placement per call.  Simulated timings are identical either way
+    #: (enforced by the dispatch_cache perfregress scenario); off is for
+    #: differential testing, not a supported production mode.
+    plan_cache: bool = True
+
     compression: CompressionConfig = field(default_factory=CompressionConfig)
 
     #: backend used when "auto" is requested but no tuning table entry

@@ -54,6 +54,16 @@ class TuningTable:
         # and log-space nearest-neighbour search are memoized per snapped
         # (op, world size, bucket) and invalidated whenever entries change
         self._lookup_cache: dict[tuple[str, int, int], Optional[str]] = {}
+        # monotonic edit counter: communicator dispatch plans compiled
+        # through the "auto" path pin the generation they consulted, so
+        # in-place edits (add/merge) recompile plans without the caller
+        # having to reinstall the table
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every in-place edit (``add``/``merge``)."""
+        return self._generation
 
     # -- construction ----------------------------------------------------
 
@@ -65,6 +75,7 @@ class TuningTable:
         bucket = message_bucket(msg_bytes)
         self.entries.setdefault(op, {}).setdefault(world_size, {})[bucket] = backend
         self._lookup_cache.clear()
+        self._generation += 1
 
     def merge(self, other: "TuningTable") -> None:
         for op, scales in other.entries.items():
@@ -72,6 +83,7 @@ class TuningTable:
                 for bucket, backend in buckets.items():
                     self.entries.setdefault(op, {}).setdefault(ws, {})[bucket] = backend
         self._lookup_cache.clear()
+        self._generation += 1
 
     # -- lookup ------------------------------------------------------------
 

@@ -7,6 +7,18 @@ dispatch cost amortized away.  For DL training — the same gradient
 buckets reduced every step — this removes the host-side setup from the
 steady state.
 
+Implementation: initialization runs the public op with the
+communicator's ``_collective`` intercepted, capturing the exact
+internal invocation (validated buffers, op family, rendezvous meta) and
+pre-compiling its :class:`~repro.core.comm.CommPlan` in the
+communicator's dispatch plan cache.  ``start()`` replays that
+invocation with ``dispatch_scale=PERSISTENT_DISPATCH_SCALE`` — a
+per-call keyword, so a start that raises (quarantined backend, fault
+storm) cannot leak a discount into unrelated operations, unlike the old
+``comm._persistent_scale`` global.  Plan invalidation (tuning-table
+swaps, quarantines, codec changes) is handled by the cache itself: the
+next start recompiles transparently.
+
 Usage::
 
     op = PersistentCollective(comm, "all_reduce", "nccl", grad_bucket)
@@ -24,7 +36,7 @@ from repro.core.exceptions import MCRError
 from repro.core.handles import WorkHandle
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.comm import MCRCommunicator
+    from repro.core.comm import CommPlan, MCRCommunicator
 
 #: fraction of the normal dispatch cost a persistent start still pays
 #: (the request-start syscall; argument marshalling is gone)
@@ -62,27 +74,33 @@ class PersistentCollective:
         self.comm = comm
         self.op_name = op_name
         self.backend = backend
-        self._args = args
-        self._kwargs = kwargs
-        self._post = getattr(comm, op_name)
         self.starts = 0
         # init-time negotiation: resolve the backend once so bad names
         # fail here, not at step N
-        comm._backend(backend) if backend != "auto" else None
+        if backend != "auto":
+            comm._backend(backend)
+        # run the public op with dispatch intercepted: arguments are
+        # validated here (bad shapes/roots fail at init) and the internal
+        # invocation is captured for replay
+        self._call = comm._capture_collective(
+            getattr(comm, op_name), backend, *args, **kwargs
+        )
+        # pre-compile the plan so the first start() is already steady-state
+        comm._plan_for_call(*self._call)
+
+    @property
+    def plan(self) -> "CommPlan":
+        """The currently pinned dispatch plan (recompiled transparently
+        after an invalidation epoch)."""
+        return self.comm._plan_for_call(*self._call)
 
     def start(self) -> WorkHandle:
         """Post one instance of the operation; returns its handle."""
         self.starts += 1
-        comm = self.comm
-        prev = getattr(comm, "_persistent_scale", None)
-        comm._persistent_scale = PERSISTENT_DISPATCH_SCALE
-        try:
-            handle = self._post(
-                self.backend, *self._args, async_op=True, **self._kwargs
-            )
-        finally:
-            comm._persistent_scale = prev
-        return handle
+        args, kwargs = self._call
+        return self.comm._collective(
+            *args, dispatch_scale=PERSISTENT_DISPATCH_SCALE, **kwargs
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -220,6 +220,10 @@ class MetricsRegistry:
             self.inc(f"comm.dispatch.{event.detail or 'explicit'}")
             self.histogram(f"comm.latency_us.{fam}").record(dur)
             self.histogram(f"comm.nbytes.{fam}").record(event.nbytes)
+        elif kind == "plan":
+            # dispatch-plan-cache effectiveness: one aggregated event per
+            # communicator and outcome at finalize, count in ``nbytes``
+            self.inc(f"comm.plan.{event.detail}", event.nbytes)
         elif kind == "fault":
             self.inc(f"fault.{event.family}")
         elif kind == "fusion":

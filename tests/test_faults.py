@@ -167,6 +167,36 @@ class TestLinkFaults:
         for h, d in zip(healthy.rank_results, degraded.rank_results):
             assert np.allclose(h, d)
 
+    def test_stream_path_arrival_time_reflects_pre_post_sync(self):
+        """Regression: on the stream path, ``sync.pre_post`` can advance
+        the host clock (naive mode synchronizes the default stream
+        before posting).  The arrival timestamp must be taken *after*
+        that sync, or a fault window opening during the sync is missed
+        and the transfer runs at healthy speed inside a degraded window.
+        """
+        config = MCRConfig(synchronization="naive")
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"], config=config)
+            # a long default-stream kernel: pre_post must drain it, which
+            # advances the host well past the fault window's opening edge
+            ctx.launch(1000.0, label="compute")
+            comm.all_reduce("nccl", ctx.virtual_tensor(262_144))
+            comm.finalize()
+            return ctx.now
+
+        healthy = Simulator(2).run(main)
+        degraded = Simulator(
+            2,
+            faults=FaultSpec(
+                # opens after the op is requested but before the default-
+                # stream drain completes: only the post-sync timestamp
+                # lands inside it
+                link_faults=(LinkFault(start_us=500.0, factor=4.0),)
+            ),
+        ).run(main)
+        assert degraded.elapsed_us > healthy.elapsed_us
+
 
 class TestStragglers:
     def test_random_stragglers_seeded(self):

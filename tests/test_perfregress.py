@@ -23,6 +23,7 @@ def test_scenario_registry_complete():
         "dsmoe_step",
         "obs_overhead",
         "tune_sweep",
+        "dispatch_cache",
     }
 
 

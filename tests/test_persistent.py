@@ -80,6 +80,83 @@ class TestSemantics:
             Simulator(1).run(main)
 
 
+class TestPlanPinning:
+    def test_plan_compiled_at_init(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            op = PersistentCollective(comm, "all_reduce", "nccl", ctx.zeros(4))
+            stats = comm.plan_stats
+            comm.finalize()
+            return stats["plans"], op.plan.resolved_name
+
+        plans, resolved = Simulator(2).run(main).rank_results[0]
+        assert plans == 1
+        assert resolved == "nccl"
+
+    def test_pinned_plan_recompiles_after_table_swap(self):
+        from repro.core.tuning import TuningTable
+
+        first = TuningTable()
+        first.add("allreduce", 2, 4096, "nccl")
+        second = TuningTable()
+        second.add("allreduce", 2, 4096, "mvapich2-gdr")
+
+        def main(ctx):
+            comm = MCRCommunicator(
+                ctx, ["nccl", "mvapich2-gdr"], tuning_table=first
+            )
+            op = PersistentCollective(comm, "all_reduce", "auto", ctx.zeros(1024))
+            before = op.plan.resolved_name
+            op.start().synchronize()
+            comm.tuning_table = second
+            after = op.plan.resolved_name
+            op.start().synchronize()
+            seqs = dict(comm._seq)
+            comm.finalize()
+            return before, after, seqs
+
+        before, after, seqs = Simulator(2).run(main).rank_results[0]
+        assert before == "nccl"
+        assert after == "mvapich2-gdr"
+        assert seqs == {"nccl": 1, "mvapich2-gdr": 1}
+
+    def test_failed_start_does_not_discount_subsequent_ops(self):
+        """A start() that raises must not leak its dispatch discount
+        into later non-persistent operations (the old global
+        ``_persistent_scale`` did exactly that when start raised)."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl"])
+            x = ctx.zeros(4)
+            op = PersistentCollective(comm, "all_reduce", "nccl", x)
+            op.start().synchronize()
+            t0 = ctx.now
+            comm.all_reduce("nccl", x, async_op=True).synchronize()
+            cost_before = ctx.now - t0
+            # force the next start to raise mid-dispatch
+            comm._finalized = True
+            try:
+                op.start()
+            except MCRError:
+                pass
+            finally:
+                comm._finalized = False
+            t1 = ctx.now
+            comm.all_reduce("nccl", x, async_op=True).synchronize()
+            cost_after = ctx.now - t1
+            t2 = ctx.now
+            op.start().synchronize()
+            persistent_cost = ctx.now - t2
+            comm.finalize()
+            return cost_before, cost_after, persistent_cost
+
+        before, after, persistent = Simulator(2).run(main).rank_results[0]
+        # full price both times (tight tolerance: clock-subtraction float
+        # noise only — a leaked 0.25x discount would shift this by ~1us)
+        assert after == pytest.approx(before, rel=1e-9)
+        assert persistent < before
+
+
 class TestPerformance:
     def test_persistent_cheaper_than_regular(self):
         n_ops = 32
