@@ -23,6 +23,12 @@ compares them against the ``after`` side of the committed
   runs must agree on simulated time, and the steady-state plan hit rate
   must meet ``--plan-hit-floor`` (default 0.95).  Like ``obs_overhead``,
   it runs even when absent from the baseline.
+* **hierarchical composite**: the ``hier_allreduce`` scenario times a
+  4 MiB all-reduce on each constituent backend and on the
+  ``hier:nccl+mvapich2-gdr`` composite; the composite must beat the
+  best flat backend by ``--hier-speedup-floor`` (default 1.05x) and the
+  tuned large-message pick must be a ``hier:*`` entry.  Like
+  ``obs_overhead``, it runs even when absent from the baseline.
 * **sweep engine**: the ``tune_sweep`` scenario runs the same
   simulated-mode tuning sweep serial, parallel (4 workers), and warm
   from the on-disk sweep cache.  The warm run must recompute **zero**
@@ -66,6 +72,9 @@ TUNE_SCENARIO = "tune_sweep"
 #: scenario carrying the dispatch plan cache's steady-state contract
 PLAN_SCENARIO = "dispatch_cache"
 
+#: scenario carrying the hierarchical-composite crossover contract
+HIER_SCENARIO = "hier_allreduce"
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -80,6 +89,7 @@ def main(argv=None) -> int:
     parser.add_argument("--sweep-floor", type=float, default=1.3)
     parser.add_argument("--sweep-warm-pct", type=float, default=25.0)
     parser.add_argument("--plan-hit-floor", type=float, default=0.95)
+    parser.add_argument("--hier-speedup-floor", type=float, default=1.05)
     args = parser.parse_args(argv)
 
     data = perfregress.load(args.baseline)
@@ -95,6 +105,8 @@ def main(argv=None) -> int:
         chosen.add(TUNE_SCENARIO)  # sweep-gated even without a baseline
     if PLAN_SCENARIO in perfregress.SCENARIOS:
         chosen.add(PLAN_SCENARIO)  # plan-gated even without a baseline
+    if HIER_SCENARIO in perfregress.SCENARIOS:
+        chosen.add(HIER_SCENARIO)  # crossover-gated even without a baseline
     fresh = perfregress.run_scenarios(sorted(chosen), repeats=args.repeats, progress=print)
 
     failures = []
@@ -207,6 +219,27 @@ def main(argv=None) -> int:
                 f"({plan.get('plan_hits', 0)} hits / "
                 f"{plan.get('plan_misses', 0)} misses, "
                 "cached == uncached simulated time)"
+            )
+
+    hier = fresh.get(HIER_SCENARIO)
+    if hier is not None and "hier_speedup" in hier:
+        speedup = hier["hier_speedup"]
+        pick = hier.get("sim_pick_large", "")
+        if not str(pick).startswith("hier:"):
+            failures.append(
+                f"{HIER_SCENARIO}: tuned large-message pick is {pick!r}, "
+                "expected a hier:* composite"
+            )
+        if speedup < args.hier_speedup_floor:
+            failures.append(
+                f"{HIER_SCENARIO}: composite only {speedup:.3f}x the best "
+                f"flat backend (floor {args.hier_speedup_floor:.2f}x)"
+            )
+        else:
+            print(
+                f"\nhierarchical: composite {speedup:.2f}x best flat backend "
+                f"at 4 MiB (floor {args.hier_speedup_floor:.2f}x; tuned picks "
+                f"{hier.get('sim_pick_small')!r} @4KiB, {pick!r} @4MiB)"
             )
 
     if failures:

@@ -269,3 +269,34 @@ def evaluate(algorithm: str, params: CostParams) -> float:
     if cost < 0:  # pragma: no cover - defensive
         raise ValueError(f"negative cost from {algorithm}: {cost}")
     return cost
+
+
+# -- composite (hierarchical) collectives ------------------------------------
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """One phase of a composite collective, priced independently.
+
+    ``cost_us`` is the phase's collective cost on its own backend and
+    comm path; ``overhead_us`` carries the per-dispatch fixed costs
+    (runtime dispatch + backend call overhead) the phase pays on top.
+    Phases of a hierarchical collective are host-synchronized — the next
+    phase reads what the previous one wrote — so they serialize.
+    """
+
+    phase: str  # "intra" / "inter" / "flat"
+    backend: str
+    family: str
+    cost_us: float
+    overhead_us: float = 0.0
+
+    @property
+    def total_us(self) -> float:
+        return self.cost_us + self.overhead_us
+
+
+def composite_cost_us(phases: list[PhaseCost]) -> float:
+    """End-to-end cost of a phase schedule (serial sum — see
+    :class:`PhaseCost` for why phases cannot overlap)."""
+    return sum(p.total_us for p in phases)

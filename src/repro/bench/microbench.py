@@ -50,6 +50,17 @@ def omb_latency_us(
     nonblocking: bool = False,
 ) -> float:
     """C-level reference latency of one collective (no framework)."""
+    if backend_name[:5].lower() == "hier:":
+        # composite target: price the full phase schedule (Fig. 2-style
+        # sweeps compare it against its constituents at each size)
+        from repro.backends.hierarchical import (
+            hier_collective_cost_us,
+            parse_hier,
+        )
+
+        return hier_collective_cost_us(
+            system, parse_hier(backend_name), family, nbytes, world_size
+        )
     backend = _cost_backend(backend_name, world_size, system)
     path = system.comm_path(world_size)
     raw = backend.collective_cost_us(

@@ -33,6 +33,15 @@ Scenarios
     times per process, which is the path the cost-cache memoization
     accelerates.
 
+``hier_allreduce``
+    The hierarchical-composite crossover (Fig. 2-style): a 4 MiB
+    all-reduce at 16 ranks on each constituent backend and on the
+    ``hier:nccl+mvapich2-gdr`` composite, plus an analytic tuner sweep.
+    The fingerprint pins the per-target simulated times and the tuned
+    picks (flat at 4 KiB, composite at 4 MiB); ``scripts/perfgate.py``
+    gates the composite's speedup over the best flat backend against
+    ``--hier-speedup-floor``.
+
 ``dsmoe_step``
     One measured DS-MoE training step at 64 ranks under a mixed plan:
     the end-to-end composition (model, plan dispatch, rendezvous,
@@ -344,6 +353,69 @@ def tune_sweep() -> dict:
         "sim_table_picks": picks,
         "sim_tables_identical": tables_identical,
         "sim_samples_identical": samples_identical,
+    }
+
+
+@scenario("hier_allreduce")
+def hier_allreduce() -> dict:
+    """Hierarchical mixed-backend crossover (Fig. 2-style sweep).
+
+    Times a steady-state 4 MiB all-reduce at 16 ranks (4 lassen nodes)
+    on NCCL, on MVAPICH2-GDR, and on the two-level
+    ``hier:nccl+mvapich2-gdr`` composite, then runs an analytic tuner
+    sweep over all three.  Past the crossover the composite must beat
+    both constituents (its inter-node phase moves 1/ppn of the vector
+    with the full NIC per node leader); below it the flat backends win
+    on latency.  ``scripts/perfgate.py`` gates ``hier_speedup`` against
+    ``--hier-speedup-floor``.
+    """
+    from repro.backends.ops import OpFamily
+    from repro.cluster import lassen
+    from repro.core import MCRCommunicator, Tuner
+    from repro.sim import Simulator
+
+    system = lassen()
+    world_size, iters = 16, 10
+    # 4 MiB fp32: past the *simulated* crossover (wire-lane contention
+    # between the ppn concurrent shard groups pushes it above the
+    # analytic one, which assumes each leader gets the NIC to itself)
+    numel = 1_048_576
+    targets = ("nccl", "mvapich2-gdr", "hier:nccl+mvapich2-gdr")
+
+    def timed(target: str) -> float:
+        def main(ctx):
+            comm = MCRCommunicator(ctx, ["nccl", "mvapich2-gdr"])
+            x = ctx.virtual_tensor(numel)
+            comm.all_reduce(target, x)  # warmup builds the phase groups
+            comm.synchronize()
+            start = ctx.now
+            for _ in range(iters):
+                comm.all_reduce(target, x)
+            comm.synchronize()
+            elapsed = ctx.now - start
+            comm.finalize()
+            return elapsed / iters
+
+        return max(Simulator(world_size, system=system).run(main).rank_results)
+
+    wall = time.perf_counter()
+    per_op = {t: timed(t) for t in targets}
+    table = Tuner(system, list(targets), mode="analytic").build_table(
+        world_sizes=[world_size],
+        message_sizes=[4096, numel * 4],
+        ops=[OpFamily.ALLREDUCE],
+    ).table
+    wall = time.perf_counter() - wall
+    flat_best = min(per_op["nccl"], per_op["mvapich2-gdr"])
+    hier_us = per_op["hier:nccl+mvapich2-gdr"]
+    return {
+        "wall_s": wall,
+        "hier_speedup": round(flat_best / hier_us, 6) if hier_us > 0 else 0.0,
+        "sim_nccl_us": per_op["nccl"],
+        "sim_mvapich_us": per_op["mvapich2-gdr"],
+        "sim_hier_us": hier_us,
+        "sim_pick_small": table.lookup("allreduce", world_size, 4096),
+        "sim_pick_large": table.lookup("allreduce", world_size, numel * 4),
     }
 
 

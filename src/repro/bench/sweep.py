@@ -104,6 +104,17 @@ def calibration_fingerprint(backend_name: str) -> dict:
     from repro.backends import calibration
     from repro.backends.base import backend_class
 
+    if backend_name[:5].lower() == "hier:":
+        # composite target: its cost is a pure function of the two
+        # constituents' calibrations, so fingerprint those
+        from repro.backends.hierarchical import parse_hier
+
+        spec = parse_hier(backend_name)
+        return {
+            "composite": "hier",
+            "intra": calibration_fingerprint(spec.intra),
+            "inter": calibration_fingerprint(spec.inter),
+        }
     cls = backend_class(backend_name)
     return {
         "class": cls.__name__,

@@ -204,15 +204,23 @@ class SystemSpec:
         intra_pairs = sum(c * (c - 1) for c in per_node.values())
         all_pairs = p * (p - 1)
         intra_fraction = intra_pairs / all_pairs if all_pairs else 1.0
-        contention = 1.0 + self.fabric_contention * (n_nodes - 1) / max(
-            self.max_nodes - 1, 1
-        )
+        # same fabric model as _comm_path_uncached: an explicit group
+        # crossing the spine pays detailed-fabric contention and hop
+        # latency, not the linear heuristic
+        if self.fabric is not None:
+            contention = self.fabric.contention(n_nodes)
+            alpha = self.fabric.effective_inter_latency_us(self.inter_link, n_nodes)
+        else:
+            contention = 1.0 + self.fabric_contention * (n_nodes - 1) / max(
+                self.max_nodes - 1, 1
+            )
+            alpha = self.inter_link.latency_us
         max_occupancy = max(per_node.values())
         inter_bw_per_rank = self.inter_link.bandwidth_gbps / max_occupancy / contention
         beta_inter = 1.0 / (inter_bw_per_rank * 1e3)
         beta = intra_fraction * intra.beta_us_per_byte + (1 - intra_fraction) * beta_inter
         return CommPath(
-            alpha_us=self.inter_link.latency_us,
+            alpha_us=alpha,
             beta_us_per_byte=beta,
             intra_fraction=intra_fraction,
             n_nodes=n_nodes,

@@ -234,6 +234,20 @@ class MCRCommunicator:
         #: strings sit on the per-op hot path and never change
         self._op_labels: dict[tuple, tuple[str, str]] = {}
 
+        # hierarchical composite dispatch (``hier:<intra>+<inter>``):
+        # the executor and its sub-communicators are built lazily on the
+        # first hierarchical dispatch; ``_phase_tag`` marks this
+        # communicator as one phase of a parent's decomposition (set by
+        # HierarchicalExecutor right after construction) and flows into
+        # op labels and comm records
+        self._phase_tag = ""
+        self._hier_children: list["MCRCommunicator"] = []
+        self._hier_exec = None
+        #: memoized "does this table contain hier entries" probe, keyed
+        #: by (table identity, generation) — keeps the no-hier auto path
+        #: at one dict hit per dispatch
+        self._hier_table_probe: Optional[tuple[int, int, bool]] = None
+
         # fault injection / graceful degradation (repro.sim.faults): the
         # injector is installed into shared state by the Simulator; with
         # no injector and no degradation hook the per-op gates below are
@@ -332,6 +346,11 @@ class MCRCommunicator:
         each backend and apply its native completion semantics."""
         if backends is None:
             backends = list(self.backends)
+            # hierarchical phases run on sub-communicators; a full
+            # synchronize drains those first (their completions gate the
+            # parent-level handles)
+            for child in self._hier_children:
+                child.synchronize()
         elif isinstance(backends, str):
             backends = [backends]
         for name in backends:
@@ -346,6 +365,8 @@ class MCRCommunicator:
         if self._finalized:
             return
         self.synchronize(backends)
+        for child in self._hier_children:
+            child.finalize()
         self._flush_plan_stats()
         for backend in self.backends.values():
             backend.finalize()
@@ -393,6 +414,10 @@ class MCRCommunicator:
             from repro.ext.logging_ext import CommLogger
 
             self._fault_log = CommLogger.shared(self.ctx)
+        # hierarchical phase communicators snapshot the same state
+        # (plans, fault gates); one epoch covers the whole family
+        for child in self._hier_children:
+            child.invalidate_plans(reason)
 
     def set_compression(self, compression: CompressionConfig) -> None:
         """Enable/disable/retune lossy compression mid-run (§V-E).
@@ -445,6 +470,9 @@ class MCRCommunicator:
         """In-place allreduce of ``tensor`` across all ranks."""
         buf = self._flat(tensor)
         nbytes = tensor.nbytes()
+        spec = self._hier_target(backend, OpFamily.ALLREDUCE, nbytes)
+        if spec is not None:
+            return self._hier().all_reduce(spec, tensor, op, async_op)
 
         def move(arrivals: list[_Arrival]) -> None:
             datapath.all_reduce([a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals], op)
@@ -482,6 +510,9 @@ class MCRCommunicator:
         """Broadcast ``root``'s tensor into everyone's tensor (in place)."""
         self._check_root(root)
         buf = self._flat(tensor)
+        spec = self._hier_target(backend, OpFamily.BROADCAST, tensor.nbytes())
+        if spec is not None:
+            return self._hier().bcast(spec, tensor, root, async_op)
 
         def move(arrivals: list[_Arrival]) -> None:
             datapath.broadcast(arrivals[root].inputs[0], [a.outputs[0] for a in arrivals])
@@ -500,6 +531,9 @@ class MCRCommunicator:
         """Gather every rank's ``input`` into every rank's ``output``
         (rank-major order); output numel must be world_size * input numel."""
         in_buf, out_buf = self._flat(input), self._flat(output)
+        spec = self._hier_target(backend, OpFamily.ALLGATHER, input.nbytes())
+        if spec is not None:
+            return self._hier().all_gather(spec, output, input, async_op)
         if output.numel() != input.numel() * self.world_size:
             raise ValidationError(
                 f"all_gather: output numel {output.numel()} != "
@@ -551,6 +585,9 @@ class MCRCommunicator:
         """Shuffle equal chunks of ``input`` elements across ranks
         (PyTorch's all_to_all_single)."""
         in_buf, out_buf = self._flat(input), self._flat(output)
+        spec = self._hier_target(backend, OpFamily.ALLTOALL, input.nbytes())
+        if spec is not None:
+            return self._hier().all_to_all_single(spec, output, input, async_op)
         if input.numel() != output.numel():
             raise ValidationError("all_to_all_single: input/output numel differ")
         if input.numel() % self.world_size != 0:
@@ -872,6 +909,14 @@ class MCRCommunicator:
         backend = self.backends.get(name)
         if backend is not None:
             return backend
+        if name[:5].lower() == "hier:":
+            # composite targets are dispatch spellings, not backends;
+            # only the four decomposable collectives accept them
+            raise BackendError(
+                f"hierarchical target {name!r} is not valid for this "
+                "operation; hier:* supports all_reduce, bcast, all_gather "
+                "and all_to_all_single only"
+            )
         canon = canonical_name(name)
         try:
             return self.backends[canon]
@@ -932,6 +977,76 @@ class MCRCommunicator:
             choice = self.config.fallback_backend or next(iter(self.backends))
         return self._backend(choice)
 
+    # -- hierarchical composite dispatch (hier:<intra>+<inter>) -----------
+
+    def _hier(self):
+        """The lazily built hierarchical executor (sub-groups derived
+        from ``SystemSpec.node_of`` on first use, cached here)."""
+        if self._hier_exec is None:
+            from repro.backends.hierarchical import HierarchicalExecutor
+
+            self._hier_exec = HierarchicalExecutor(self)
+        return self._hier_exec
+
+    def _table_has_hier(self, table: TuningTable) -> bool:
+        """Whether the tuning table contains any ``hier:*`` entry, memoized
+        per (table identity, generation) so hier-free auto dispatch pays
+        one tuple compare."""
+        probe = self._hier_table_probe
+        ident, gen = id(table), table.generation
+        if probe is not None and probe[0] == ident and probe[1] == gen:
+            return probe[2]
+        has = any(
+            choice[:5].lower() == "hier:"
+            for by_ws in table.entries.values()
+            for by_msg in by_ws.values()
+            for choice in by_msg.values()
+        )
+        self._hier_table_probe = (ident, gen, has)
+        return has
+
+    def _hier_target(self, name: str, family: OpFamily, nbytes: int):
+        """Resolve one dispatch to a hierarchical spec, or None for flat.
+
+        Explicit ``hier:*`` spellings must parse and have both
+        constituents initialized (errors otherwise, mirroring unknown
+        backend names).  ``"auto"`` consults the tuned table; a hier
+        entry that cannot run here — malformed, missing constituent, or
+        a constituent quarantined by a permanent fault — silently falls
+        back to flat resolution, matching ``_resolve_backend``'s
+        treatment of unavailable tuned choices.
+        """
+        if name[:5].lower() == "hier:":
+            from repro.backends.hierarchical import parse_hier
+
+            spec = parse_hier(name)
+            for part in (spec.intra, spec.inter):
+                if part not in self.backends:
+                    raise BackendError(
+                        f"hierarchical target {name!r} needs backend "
+                        f"{part!r}, which is not initialized on this "
+                        f"communicator; have {list(self.backends)}"
+                    )
+            return spec
+        if name != "auto":
+            return None
+        table = self._tuning_table
+        if table is None or not self._table_has_hier(table):
+            return None
+        choice = table.lookup(family.value, self.world_size, nbytes)
+        if choice is None or choice[:5].lower() != "hier:":
+            return None
+        from repro.backends.hierarchical import parse_hier
+
+        try:
+            spec = parse_hier(choice)
+        except BackendError:
+            return None
+        for part in (spec.intra, spec.inter):
+            if part not in self.backends or part in self._quarantined:
+                return None
+        return spec
+
     # -- fault handling (retry / quarantine / failover) -------------------
     #
     # Every decision below is a deterministic function of per-scope op
@@ -963,6 +1078,15 @@ class MCRCommunicator:
         # compiled plans must recompute from the degraded state
         self.invalidate_plans(f"quarantine({backend.name})")
         self._record_fault("quarantine", backend.name, reason)
+        # a backend the parent declares dead must not keep serving
+        # hierarchical phases; each phase communicator degrades (and
+        # fails over) independently.  Child-local quarantines do NOT
+        # propagate upward — a fault observed only inside one phase
+        # group is handled by that group's own failover.
+        for child in self._hier_children:
+            child_backend = child.backends.get(backend.name)
+            if child_backend is not None and backend.name not in child._quarantined:
+                child._quarantine(child_backend, f"parent: {reason}")
         if len(self._quarantined) == len(self.backends):
             raise BackendError(
                 f"all backends permanently failed: {sorted(self._quarantined)}"
@@ -1077,6 +1201,10 @@ class MCRCommunicator:
         cached = self._op_labels.get(key)
         if cached is None:
             label = f"{op}:{backend_name}"
+            if self._phase_tag:
+                # phase communicators mark their intervals so chrome
+                # traces show the intra/inter segments of a composite
+                label = f"{label}@{self._phase_tag}"
             cached = self._op_labels[key] = (label, f"dispatch({label})")
         return cached
 
@@ -1716,6 +1844,7 @@ class MCRCommunicator:
                 step=self._current_step(self.ctx.rank),
                 dispatch=dispatch,
                 stream=stream,
+                phase=self._phase_tag,
             )
 
     def _log_on_flag(
@@ -1744,6 +1873,7 @@ class MCRCommunicator:
         rank = self.ctx.rank
         post_time = self.ctx.now
         step = self._current_step(rank)
+        phase = self._phase_tag
 
         def emit() -> None:
             end = flag.ready_time
@@ -1760,6 +1890,7 @@ class MCRCommunicator:
                 step=step,
                 dispatch=dispatch,
                 stream=stream,
+                phase=phase,
             )
 
         if flag.is_set:

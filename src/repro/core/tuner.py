@@ -235,6 +235,20 @@ class Tuner:
     def _measure_analytic(
         self, backend_name: str, op: OpFamily, msg_bytes: int, world_size: int
     ) -> float:
+        if backend_name[:5].lower() == "hier:":
+            # composite candidate: price the phase schedule (each phase
+            # already carries its dispatch fraction + overheads); +inf
+            # for families a hierarchical target cannot run, so flat
+            # backends always win those cells
+            from repro.backends.hierarchical import (
+                hier_collective_cost_us,
+                parse_hier,
+            )
+
+            return hier_collective_cost_us(
+                self.system, parse_hier(backend_name), op, msg_bytes,
+                world_size, config=self.config,
+            )
         key = (backend_name, world_size)
         backend = self._analytic_backends.get(key)
         if backend is None:
@@ -259,18 +273,33 @@ class Tuner:
         runner = _SIM_OP_RUNNERS.get(op)
         if runner is None:
             raise TuningError(f"tuner cannot benchmark {op}")
+        if backend_name[:5].lower() == "hier:":
+            from repro.backends.hierarchical import HIER_FAMILIES, parse_hier
+
+            if op not in HIER_FAMILIES:
+                import math
+
+                return math.inf  # not decomposable; never simulate it
+            spec = parse_hier(backend_name)
+            comm_backends = list(dict.fromkeys((spec.intra, spec.inter)))
+            #: "hier:*" is not a backend name; synchronize/barrier on the
+            #: constituents (None = all, which also drains phase groups)
+            sync_target, barrier_on = None, comm_backends[0]
+        else:
+            comm_backends = [backend_name]
+            sync_target, barrier_on = backend_name, backend_name
 
         def bench(ctx):
-            comm = MCRCommunicator(ctx, [backend_name], config=config)
+            comm = MCRCommunicator(ctx, comm_backends, config=config)
             bufs = _BenchBuffers(ctx, numel)
 
             def run_op():
                 runner(comm, backend_name, ctx, bufs)
-                comm.synchronize(backend_name)
+                comm.synchronize(sync_target)
 
             for _ in range(warmup):
                 run_op()
-            comm.barrier(backend_name)
+            comm.barrier(barrier_on)
             start = ctx.now
             for _ in range(iters):
                 run_op()

@@ -113,6 +113,25 @@ class DistributedDataParallel:
             bucket.pending = set(bucket.names)
             bucket.handle = None
 
+    def reset(self) -> None:
+        """Abandon the current step after an error and rearm for a retry.
+
+        A step that raises between :meth:`grad_ready` and
+        :meth:`wait_all` leaves buckets half-drained and possibly holding
+        posted handles; without this, the retried step's ``grad_ready``
+        raises "marked ready twice" on every gradient the failed step
+        already produced.  Any allreduce already in flight is completed
+        first (SPMD: every rank posted it) so the retried step cannot
+        race against the abandoned one, then the ready-tracking and
+        handles are cleared.
+        """
+        if not self._finalized:
+            raise MCRError("finalize_buckets() before reset()")
+        for bucket in self._buckets:
+            if bucket.handle is not None:
+                bucket.handle.synchronize()
+        self._reset_pending()
+
     @property
     def num_buckets(self) -> int:
         return len(self._buckets)

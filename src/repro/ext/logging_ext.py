@@ -38,6 +38,8 @@ class CommRecord:
     dispatch: str = "explicit"
     #: stream the op ran on ("" when unknown)
     stream: str = ""
+    #: hierarchical decomposition phase: "intra" | "inter" | "" (flat)
+    phase: str = ""
 
     @property
     def duration(self) -> float:
@@ -94,11 +96,12 @@ class CommLogger:
         step: int = -1,
         dispatch: str = "explicit",
         stream: str = "",
+        phase: str = "",
     ) -> None:
         self.records.append(
             CommRecord(
                 rank, family, backend, nbytes, start, end, async_op,
-                step, dispatch, stream,
+                step, dispatch, stream, phase,
             )
         )
         if self.observer is not None:
@@ -116,6 +119,7 @@ class CommLogger:
                     start=start,
                     end=end,
                     detail=dispatch,
+                    phase=phase,
                 )
             )
 

@@ -64,6 +64,9 @@ class ObsEvent:
     start: float
     end: float
     detail: str = ""
+    #: hierarchical decomposition phase for ``kind="comm"`` events:
+    #: ``"intra"`` / ``"inter"`` / ``""`` (flat dispatch)
+    phase: str = ""
 
     @property
     def duration(self) -> float:
@@ -218,6 +221,8 @@ class MetricsRegistry:
             self.inc(f"comm.time_us.{fam}", dur)
             self.inc(f"comm.time_us.backend.{event.backend}", dur)
             self.inc(f"comm.dispatch.{event.detail or 'explicit'}")
+            if event.phase:
+                self.inc(f"comm.time_us.phase.{event.phase}", dur)
             self.histogram(f"comm.latency_us.{fam}").record(dur)
             self.histogram(f"comm.nbytes.{fam}").record(event.nbytes)
         elif kind == "plan":

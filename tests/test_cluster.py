@@ -119,3 +119,40 @@ class TestSystems:
         small = sys.host_staging_us(1024)
         big = sys.host_staging_us(1 << 20)
         assert big > small > 0
+
+
+class TestGroupPathFabric:
+    """comm_path_for_ranks must use the same fabric model as comm_path
+    (regression: it applied the linear heuristic and raw link latency
+    even when a detailed fabric was installed)."""
+
+    def test_dense_group_matches_world_path(self):
+        sys = lassen(detailed_fabric=True)
+        dense = sys.comm_path(16)
+        group = sys.comm_path_for_ranks(range(16))
+        assert group.alpha_us == pytest.approx(dense.alpha_us)
+        assert group.beta_us_per_byte == pytest.approx(dense.beta_us_per_byte)
+        assert (group.n_nodes, group.ppn) == (dense.n_nodes, dense.ppn)
+
+    def test_group_alpha_uses_fabric_latency(self):
+        sys = lassen(detailed_fabric=True)
+        path = sys.comm_path_for_ranks([0, 1, 2, 4])
+        assert path.alpha_us == pytest.approx(
+            sys.fabric.effective_inter_latency_us(sys.inter_link, 2)
+        )
+        # pre-fix this was the raw link latency, no switch hops
+        assert path.alpha_us > sys.inter_link.latency_us
+
+    def test_uneven_group_hand_computed(self):
+        # {0,1,2,4} on lassen: 3 ranks on node 0 + 1 on node 1
+        sys = lassen()
+        path = sys.comm_path_for_ranks([0, 1, 2, 4])
+        assert path.n_nodes == 2
+        assert path.ppn == 3  # max per-node occupancy
+        # intra pairs: 3*2 of 4*3 ordered pairs
+        assert path.intra_fraction == pytest.approx(0.5)
+        assert path.alpha_us == sys.inter_link.latency_us
+        contention = 1.0 + sys.fabric_contention / (sys.max_nodes - 1)
+        beta_inter = 1.0 / (sys.inter_link.bandwidth_gbps / 3 / contention * 1e3)
+        expect = 0.5 * sys.node.intra_link.beta_us_per_byte + 0.5 * beta_inter
+        assert path.beta_us_per_byte == pytest.approx(expect)

@@ -167,3 +167,78 @@ class TestOverlap:
 
         tail = spmd(2, fn)
         assert max(tail) < 4_000.0
+
+
+class TestRecovery:
+    """reset() rearms a step abandoned mid-backward (regression: a step
+    that raised between grad_ready calls left buckets half-drained, so
+    every retried grad_ready hit "marked ready twice")."""
+
+    def test_reset_rearms_after_midstep_failure(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl", bucket_bytes=16)
+            w = ctx.zeros(4)
+            v = ctx.zeros(4)
+            ddp.register_parameter("w", w)
+            ddp.register_parameter("v", v)
+            ddp.finalize_buckets()
+            assert ddp.num_buckets == 2  # one param per bucket
+
+            # step 1: "v" produced (its bucket posts), then the backward
+            # raises before "w" — the step is abandoned
+            v.fill_(99.0)
+            ddp.grad_ready("v")
+            ddp.reset()
+
+            # retried step: without reset() this first call raises
+            # "marked ready twice" for "v"
+            w.fill_(float(ctx.rank))
+            v.fill_(float(ctx.rank * 10))
+            ddp.grad_ready("v")
+            ddp.grad_ready("w")
+            ddp.wait_all()
+            return (w.data.copy(), v.data.copy())
+
+        for w, v in spmd(4, fn):
+            assert np.allclose(w, (0 + 1 + 2 + 3) / 4)
+            assert np.allclose(v, (0 + 10 + 20 + 30) / 4)
+
+    def test_retry_without_reset_still_rejected(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            ddp.register_parameter("w", ctx.zeros(4))
+            ddp.register_parameter("v", ctx.zeros(4))
+            ddp.finalize_buckets()
+            ddp.grad_ready("v")
+            with pytest.raises(MCRError, match="ready twice"):
+                ddp.grad_ready("v")  # the pre-fix retry experience
+            ddp.grad_ready("w")
+            ddp.wait_all()
+
+        spmd(2, fn)
+
+    def test_reset_requires_finalized_buckets(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl")
+            ddp.register_parameter("w", ctx.zeros(4))
+            with pytest.raises(MCRError, match="finalize_buckets"):
+                ddp.reset()
+            ddp.finalize_buckets()
+            ddp.reset()  # idle reset is a no-op
+
+        spmd(1, fn)
+
+    def test_reset_midflight_completes_posted_allreduce(self):
+        def fn(ctx, comm):
+            ddp = DistributedDataParallel(comm, backend="nccl", bucket_bytes=16)
+            w = ctx.zeros(4)
+            v = ctx.full(4, float(ctx.rank + 1))
+            ddp.register_parameter("w", w)
+            ddp.register_parameter("v", v)
+            ddp.finalize_buckets()
+            ddp.grad_ready("v")
+            ddp.reset()  # must synchronize the in-flight bucket first
+            # the abandoned step's allreduce still completed SPMD-wide
+            return float(v.data[0])
+
+        assert spmd(2, fn) == [1.5, 1.5]

@@ -94,3 +94,43 @@ class TestSystemIntegration:
             DSMoEModel(MoEConfig(layers=4, micro_batch=1)), 8, BackendPlan.mixed()
         )
         assert result.samples_per_sec > 0
+
+
+class TestLeafBoundary:
+    """Exact behavior at n_nodes == nodes_per_leaf: a job filling one
+    leaf never pays spine contention or spine hops; one node more pays
+    both (boundary sweep for the lassen-default k=18)."""
+
+    @pytest.mark.parametrize("n_nodes", [1, 17, 18])
+    def test_at_or_below_one_leaf(self, n_nodes):
+        tree = FatTreeFabric(nodes_per_leaf=18, taper=0.5)
+        assert tree.leaves_spanned(n_nodes) == 1
+        assert tree.cross_leaf_fraction(n_nodes) == 0.0
+        assert tree.contention(n_nodes) == 1.0
+        assert tree.effective_inter_latency_us(IB_EDR, n_nodes) == pytest.approx(
+            IB_EDR.latency_us + tree.switch_latency_us
+        )
+
+    @pytest.mark.parametrize("n_nodes", [19, 36])
+    def test_above_one_leaf(self, n_nodes):
+        tree = FatTreeFabric(nodes_per_leaf=18, taper=0.5)
+        assert tree.leaves_spanned(n_nodes) == 2
+        assert tree.cross_leaf_fraction(n_nodes) > 0.0
+        assert tree.contention(n_nodes) > 1.0
+        assert tree.effective_inter_latency_us(IB_EDR, n_nodes) == pytest.approx(
+            IB_EDR.latency_us + 3 * tree.switch_latency_us
+        )
+
+    def test_contention_monotone_across_boundary(self):
+        tree = FatTreeFabric(nodes_per_leaf=18, taper=0.5)
+        sweep = [tree.contention(n) for n in (1, 17, 18, 19, 36)]
+        assert sweep == sorted(sweep)
+        assert sweep[2] == 1.0 < sweep[3] < sweep[4]
+
+    def test_system_path_steps_at_boundary(self):
+        system = lassen(detailed_fabric=True)
+        k, ppn = 18, system.gpus_per_node
+        one_leaf = system.comm_path(k * ppn)
+        two_leaves = system.comm_path((k + 1) * ppn)
+        assert two_leaves.alpha_us > one_leaf.alpha_us
+        assert two_leaves.beta_us_per_byte > one_leaf.beta_us_per_byte

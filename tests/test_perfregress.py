@@ -24,6 +24,7 @@ def test_scenario_registry_complete():
         "obs_overhead",
         "tune_sweep",
         "dispatch_cache",
+        "hier_allreduce",
     }
 
 

@@ -162,3 +162,68 @@ class TestGroupTopologyAwareness:
         intra = run([0, 1], "intra")  # same Lassen node (4 GPUs/node)
         inter = run([0, 4], "inter")  # different nodes
         assert intra < inter
+
+
+class TestMixedPpnGroups:
+    """End-to-end collectives on a group whose members are spread
+    unevenly across nodes ({0,1,2,4} on lassen: 3 + 1), with and
+    without the dispatch plan cache."""
+
+    RANKS = [0, 1, 2, 4]
+
+    def _run(self, plan_cache=True):
+        from repro.cluster import lassen
+        from repro.core import MCRConfig
+
+        ranks = self.RANKS
+
+        def main(ctx):
+            if ctx.rank not in ranks:
+                return None
+            comm = MCRCommunicator(
+                ctx,
+                ["nccl", "mvapich2-gdr"],
+                ranks=ranks,
+                comm_id="mixed-ppn",
+                config=MCRConfig(plan_cache=plan_cache),
+            )
+            g, p = comm.rank, comm.world_size
+            red = ctx.full(4, float(g + 1))
+            comm.all_reduce("nccl", red)
+            bc = ctx.full(2, float(g))
+            comm.bcast("mvapich2-gdr", bc, root=3)
+            gat = ctx.zeros(p)
+            comm.all_gather("nccl", gat, ctx.full(1, float(g)))
+            a2a = ctx.zeros(p)
+            comm.all_to_all_single(
+                "mvapich2-gdr", a2a, ctx.tensor([10.0 * g + j for j in range(p)])
+            )
+            comm.synchronize()
+            now = ctx.now
+            comm.finalize()
+            return (now, red.data.tobytes(), bc.data.tobytes(),
+                    gat.data.copy(), a2a.data.copy())
+
+        from repro.sim import Simulator
+
+        return Simulator(8, system=lassen()).run(main).rank_results
+
+    def test_collectives_correct_on_uneven_placement(self):
+        results = self._run()
+        for g, rank in enumerate(self.RANKS):
+            _, red, bc, gat, a2a = results[rank]
+            assert np.frombuffer(red, dtype=np.float32)[0] == 1 + 2 + 3 + 4
+            assert np.frombuffer(bc, dtype=np.float32)[0] == 3.0
+            assert np.array_equal(gat, np.arange(4.0))
+            assert np.array_equal(a2a, [10.0 * i + g for i in range(4)])
+
+    def test_plan_cache_byte_identity_on_groups(self):
+        cached = self._run(plan_cache=True)
+        uncached = self._run(plan_cache=False)
+        for a, b in zip(cached, uncached):
+            if a is None:
+                assert b is None
+                continue
+            assert a[0] == b[0]  # same simulated completion time
+            assert a[1] == b[1] and a[2] == b[2]
+            assert np.array_equal(a[3], b[3]) and np.array_equal(a[4], b[4])
