@@ -29,6 +29,13 @@ compares them against the ``after`` side of the committed
   best flat backend by ``--hier-speedup-floor`` (default 1.05x) and the
   tuned large-message pick must be a ``hier:*`` entry.  Like
   ``obs_overhead``, it runs even when absent from the baseline.
+* **adaptive retuning**: the ``adaptive_degraded_link`` scenario runs a
+  steady all-reduce loop whose tuned backend hits a mid-run 4x link
+  slowdown, once with the static table and once with online adaptation
+  on.  The adaptive run's tail must recover at least ``--adapt-floor``
+  (default 1.2x) over the static one and must have committed at least
+  one retune.  Like ``obs_overhead``, it runs even when absent from the
+  baseline.
 * **sweep engine**: the ``tune_sweep`` scenario runs the same
   simulated-mode tuning sweep serial, parallel (4 workers), and warm
   from the on-disk sweep cache.  The warm run must recompute **zero**
@@ -75,6 +82,9 @@ PLAN_SCENARIO = "dispatch_cache"
 #: scenario carrying the hierarchical-composite crossover contract
 HIER_SCENARIO = "hier_allreduce"
 
+#: scenario carrying the adaptive-retuning recovery contract
+ADAPT_SCENARIO = "adaptive_degraded_link"
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -90,6 +100,7 @@ def main(argv=None) -> int:
     parser.add_argument("--sweep-warm-pct", type=float, default=25.0)
     parser.add_argument("--plan-hit-floor", type=float, default=0.95)
     parser.add_argument("--hier-speedup-floor", type=float, default=1.05)
+    parser.add_argument("--adapt-floor", type=float, default=1.2)
     args = parser.parse_args(argv)
 
     data = perfregress.load(args.baseline)
@@ -107,6 +118,8 @@ def main(argv=None) -> int:
         chosen.add(PLAN_SCENARIO)  # plan-gated even without a baseline
     if HIER_SCENARIO in perfregress.SCENARIOS:
         chosen.add(HIER_SCENARIO)  # crossover-gated even without a baseline
+    if ADAPT_SCENARIO in perfregress.SCENARIOS:
+        chosen.add(ADAPT_SCENARIO)  # recovery-gated even without a baseline
     fresh = perfregress.run_scenarios(sorted(chosen), repeats=args.repeats, progress=print)
 
     failures = []
@@ -240,6 +253,27 @@ def main(argv=None) -> int:
                 f"\nhierarchical: composite {speedup:.2f}x best flat backend "
                 f"at 4 MiB (floor {args.hier_speedup_floor:.2f}x; tuned picks "
                 f"{hier.get('sim_pick_small')!r} @4KiB, {pick!r} @4MiB)"
+            )
+
+    adapt = fresh.get(ADAPT_SCENARIO)
+    if adapt is not None and "adapt_recovery" in adapt:
+        recovery = adapt["adapt_recovery"]
+        if adapt.get("sim_retunes", 0) < 1:
+            failures.append(
+                f"{ADAPT_SCENARIO}: retuner never committed a new pick "
+                "under the degraded link"
+            )
+        if recovery < args.adapt_floor:
+            failures.append(
+                f"{ADAPT_SCENARIO}: adaptive tail only {recovery:.3f}x the "
+                f"static table (floor {args.adapt_floor:.2f}x)"
+            )
+        else:
+            print(
+                f"\nadaptive: degraded-link recovery {recovery:.2f}x over the "
+                f"static table (floor {args.adapt_floor:.2f}x; final pick "
+                f"{adapt.get('sim_final_pick')!r}, "
+                f"{adapt.get('sim_retunes', 0)} retune(s))"
             )
 
     if failures:

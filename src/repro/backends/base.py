@@ -122,6 +122,17 @@ class Backend(abc.ABC):
         self.failed = True
         self.failure_reason = reason
 
+    def recover(self, reason: str = "probation probe cleared") -> None:
+        """Release the permanent-failure latch.
+
+        Called by the communicator's probation path
+        (:mod:`repro.core.adaptive`) when a timing-only probe observes
+        the library healthy again; the communicator un-quarantines the
+        backend symmetrically on every rank at the same logical op.
+        """
+        self.failed = False
+        self.failure_reason = None
+
     @property
     def usable(self) -> bool:
         """Whether new operations may be dispatched on this backend."""

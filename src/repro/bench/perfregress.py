@@ -42,6 +42,15 @@ Scenarios
     gates the composite's speedup over the best flat backend against
     ``--hier-speedup-floor``.
 
+``adaptive_degraded_link``
+    Online adaptive dispatch under a mid-run degraded link (§ adaptive
+    retuning): a steady all-reduce loop at 16 ranks whose tuned backend
+    (NCCL) hits a 4x inter-node link slowdown partway through.  Runs the
+    loop twice — static table vs ``AdaptiveConfig(enabled=True)`` — and
+    fingerprints both tail latencies plus the retuner's final pick and
+    action counters.  ``scripts/perfgate.py`` gates ``adapt_recovery``
+    (static tail / adaptive tail) against ``--adapt-floor``.
+
 ``dsmoe_step``
     One measured DS-MoE training step at 64 ranks under a mixed plan:
     the end-to-end composition (model, plan dispatch, rendezvous,
@@ -416,6 +425,83 @@ def hier_allreduce() -> dict:
         "sim_hier_us": hier_us,
         "sim_pick_small": table.lookup("allreduce", world_size, 4096),
         "sim_pick_large": table.lookup("allreduce", world_size, numel * 4),
+    }
+
+
+@scenario("adaptive_degraded_link")
+def adaptive_degraded_link() -> dict:
+    """Feedback-driven retuning beats a stale table on a degraded link.
+
+    A 1 MiB all-reduce loop at 16 ranks starts on its tuned backend
+    (NCCL); at t=20 ms a fault quadruples NCCL's inter-node link time
+    for the rest of the run.  The static table keeps dispatching into
+    the slow link; the adaptive retuner must detect the drift, sweep the
+    alternatives, and commit a faster pick so the tail of the run
+    recovers.  The loop blocks on each op (``async_op=True`` +
+    ``synchronize``) so the host clock tracks completions — a free-run
+    post loop would outrun the fault window.  ``scripts/perfgate.py``
+    gates ``adapt_recovery`` against ``--adapt-floor``.
+    """
+    from repro.cluster import lassen
+    from repro.core import MCRCommunicator, MCRConfig, TuningTable
+    from repro.core.config import AdaptiveConfig
+    from repro.sim import Simulator
+    from repro.sim.faults import FaultSpec
+
+    system = lassen()
+    world_size, ops, tail_ops = 16, 150, 40
+    nbytes = 1 << 20
+
+    def timed(adaptive: bool):
+        table = TuningTable(system=system.name)
+        table.add("allreduce", world_size, nbytes, "nccl")
+        faults = FaultSpec.parse("link=20000:inf:4.0:backend=nccl")
+
+        def main(ctx):
+            config = MCRConfig()
+            if adaptive:
+                config.adaptive = AdaptiveConfig(
+                    enabled=True, min_samples=5, explore_ops=3, drift_ratio=1.5
+                )
+            comm = MCRCommunicator(
+                ctx,
+                ["nccl", "mvapich2-gdr"],
+                config=config,
+                tuning_table=table,
+                comm_id="adapt-bench",
+            )
+            x = ctx.virtual_tensor(nbytes // 4)
+            t_tail = 0.0
+            for i in range(ops):
+                if i == ops - tail_ops:
+                    t_tail = ctx.now
+                comm.all_reduce("auto", x, async_op=True).synchronize()
+            tail = ctx.now - t_tail
+            snap = comm.retuner.snapshot() if comm.retuner is not None else None
+            comm.finalize()
+            return tail, snap
+
+        result = Simulator(world_size, system=system, faults=faults).run(main)
+        return (
+            max(r[0] for r in result.rank_results),
+            result.rank_results[0][1],
+        )
+
+    wall = time.perf_counter()
+    static_us, _ = timed(adaptive=False)
+    adaptive_us, snap = timed(adaptive=True)
+    wall = time.perf_counter() - wall
+    cell = snap["cells"]["allreduce/%d" % nbytes]
+    return {
+        "wall_s": wall,
+        "adapt_recovery": (
+            round(static_us / adaptive_us, 6) if adaptive_us > 0 else 0.0
+        ),
+        "sim_static_us": round(static_us, 3),
+        "sim_adaptive_us": round(adaptive_us, 3),
+        "sim_final_pick": cell["current"],
+        "sim_retunes": snap["stats"]["retune"],
+        "sim_drifts": snap["stats"]["drift"],
     }
 
 

@@ -172,6 +172,11 @@ def cmd_train(args: argparse.Namespace) -> int:
             faults = FaultSpec.parse(args.faults)
         except (ValueError, KeyError, TypeError) as exc:
             raise SystemExit(f"bad --faults spec: {exc}")
+    adaptive = None
+    if args.adapt:
+        from repro.core.config import AdaptiveConfig
+
+        adaptive = AdaptiveConfig(enabled=True)
     want_obs = bool(args.trace or args.metrics)
     trainer = Trainer(
         system,
@@ -180,6 +185,7 @@ def cmd_train(args: argparse.Namespace) -> int:
         faults=faults,
         trace=bool(args.trace),
         metrics=want_obs,
+        adaptive=adaptive,
     )
     result = trainer.run(model, args.world, plan)
     payload = {
@@ -334,6 +340,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="FILE",
         help="write the observability metrics dump (counters, "
         "histograms, per-step comm breakdown) to FILE as JSON",
+    )
+    train.add_argument(
+        "--adapt", action="store_true",
+        help="enable online adaptive dispatch: feedback-driven retuning "
+        "of 'auto' table cells plus probation re-probes of quarantined "
+        "backends (repro.core.adaptive)",
     )
     train.set_defaults(func=cmd_train)
 

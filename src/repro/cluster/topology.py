@@ -229,11 +229,18 @@ class SystemSpec:
 
     # -- fault injection ---------------------------------------------------
 
-    def link_time_factor(self, t_us: float) -> float:
+    def link_time_factor(self, t_us: float, backend: str = "") -> float:
         """Duration multiplier for fabric transfers at virtual time
-        ``t_us`` (1.0 = healthy; >1 = degraded link window active)."""
+        ``t_us`` (1.0 = healthy; >1 = degraded link window active).
+
+        ``backend`` scopes the query to one library's injection path:
+        backend-scoped fault windows (``LinkFault.backend``) only apply
+        to transfers posted by that backend, modeling NIC/port-level
+        degradation that a different library's path does not cross.
+        Unscoped windows apply regardless of the value passed here.
+        """
         sched = self.link_degradation
-        return 1.0 if sched is None else sched.factor_at(t_us)
+        return 1.0 if sched is None else sched.factor_at(t_us, backend)
 
     # -- host staging (non-CUDA-aware paths) -------------------------------
 

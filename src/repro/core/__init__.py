@@ -13,8 +13,9 @@
 """
 
 from repro.backends.ops import OpFamily, ReduceOp
+from repro.core.adaptive import AdaptiveRetuner
 from repro.core.comm import MCRCommunicator
-from repro.core.config import CompressionConfig, MCRConfig
+from repro.core.config import AdaptiveConfig, CompressionConfig, MCRConfig
 from repro.core.exceptions import (
     BackendError,
     CommTimeoutError,
@@ -33,6 +34,8 @@ __all__ = [
     "MCRCommunicator",
     "MCRConfig",
     "CompressionConfig",
+    "AdaptiveConfig",
+    "AdaptiveRetuner",
     "MCRError",
     "BackendError",
     "CommTimeoutError",

@@ -306,6 +306,26 @@ class MCRCommunicator:
         #: the healthy hot path free of extra float ops
         self._link_faults = getattr(ctx.system, "link_degradation", None) is not None
 
+        # online adaptive dispatch (repro.core.adaptive): one retuner
+        # per rank per top-level communicator.  Hierarchical phase
+        # communicators never adapt on their own — the parent owns the
+        # table that routed the composite.  None keeps every adaptive
+        # hook below at a single is-None check (zero cost when off).
+        self._retuner = None
+        self._adapt_primed = False
+        if self.config.adaptive.enabled and "|hier-" not in comm_id:
+            from repro.core.adaptive import AdaptiveRetuner
+
+            if self._tuning_table is not None:
+                # ranks are usually handed one shared table object;
+                # online edits happen at rank-local points in execution,
+                # so each rank retunes a private clone (edits still stay
+                # symmetric — they apply at matched op indexes)
+                self._tuning_table = self._tuning_table.clone()
+            else:
+                self._tuning_table = TuningTable(system=ctx.system.name)
+            self._retuner = AdaptiveRetuner(self)
+
     # ------------------------------------------------------------------
     # introspection (Listing 1 head)
     # ------------------------------------------------------------------
@@ -444,6 +464,12 @@ class MCRCommunicator:
         self.invalidate_plans("synchronization change")
 
     @property
+    def retuner(self):
+        """This rank's :class:`repro.core.adaptive.AdaptiveRetuner`, or
+        None when ``config.adaptive.enabled`` is off (the default)."""
+        return self._retuner
+
+    @property
     def plan_stats(self) -> dict:
         """Plan-cache effectiveness: hit/miss/invalidation counts, the
         number of resident plans, and the steady-state hit rate."""
@@ -470,8 +496,16 @@ class MCRCommunicator:
         """In-place allreduce of ``tensor`` across all ranks."""
         buf = self._flat(tensor)
         nbytes = tensor.nbytes()
+        retuner = self._retuner
+        if retuner is not None and not retuner.quiet:
+            # adaptive hook runs before hier/flat resolution so pending
+            # table edits affect the op being posted; _adapt_primed
+            # keeps _collective from counting this op twice
+            retuner.before_op(OpFamily.ALLREDUCE, nbytes)
+            self._adapt_primed = True
         spec = self._hier_target(backend, OpFamily.ALLREDUCE, nbytes)
         if spec is not None:
+            self._adapt_primed = False
             return self._hier().all_reduce(spec, tensor, op, async_op)
 
         def move(arrivals: list[_Arrival]) -> None:
@@ -510,8 +544,13 @@ class MCRCommunicator:
         """Broadcast ``root``'s tensor into everyone's tensor (in place)."""
         self._check_root(root)
         buf = self._flat(tensor)
+        retuner = self._retuner
+        if retuner is not None and not retuner.quiet:
+            retuner.before_op(OpFamily.BROADCAST, tensor.nbytes())
+            self._adapt_primed = True
         spec = self._hier_target(backend, OpFamily.BROADCAST, tensor.nbytes())
         if spec is not None:
+            self._adapt_primed = False
             return self._hier().bcast(spec, tensor, root, async_op)
 
         def move(arrivals: list[_Arrival]) -> None:
@@ -531,8 +570,13 @@ class MCRCommunicator:
         """Gather every rank's ``input`` into every rank's ``output``
         (rank-major order); output numel must be world_size * input numel."""
         in_buf, out_buf = self._flat(input), self._flat(output)
+        retuner = self._retuner
+        if retuner is not None and not retuner.quiet:
+            retuner.before_op(OpFamily.ALLGATHER, input.nbytes())
+            self._adapt_primed = True
         spec = self._hier_target(backend, OpFamily.ALLGATHER, input.nbytes())
         if spec is not None:
+            self._adapt_primed = False
             return self._hier().all_gather(spec, output, input, async_op)
         if output.numel() != input.numel() * self.world_size:
             raise ValidationError(
@@ -585,8 +629,13 @@ class MCRCommunicator:
         """Shuffle equal chunks of ``input`` elements across ranks
         (PyTorch's all_to_all_single)."""
         in_buf, out_buf = self._flat(input), self._flat(output)
+        retuner = self._retuner
+        if retuner is not None and not retuner.quiet:
+            retuner.before_op(OpFamily.ALLTOALL, input.nbytes())
+            self._adapt_primed = True
         spec = self._hier_target(backend, OpFamily.ALLTOALL, input.nbytes())
         if spec is not None:
+            self._adapt_primed = False
             return self._hier().all_to_all_single(spec, output, input, async_op)
         if input.numel() != output.numel():
             raise ValidationError("all_to_all_single: input/output numel differ")
@@ -1078,6 +1127,10 @@ class MCRCommunicator:
         # compiled plans must recompute from the degraded state
         self.invalidate_plans(f"quarantine({backend.name})")
         self._record_fault("quarantine", backend.name, reason)
+        if self._retuner is not None:
+            # probation: the retuner re-probes the backend at matched op
+            # indexes and un-quarantines symmetrically on success
+            self._retuner.on_quarantine(backend.name)
         # a backend the parent declares dead must not keep serving
         # hierarchical phases; each phase communicator degrades (and
         # fails over) independently.  Child-local quarantines do NOT
@@ -1091,6 +1144,35 @@ class MCRCommunicator:
             raise BackendError(
                 f"all backends permanently failed: {sorted(self._quarantined)}"
             )
+
+    def _unquarantine(self, backend: Backend, reason: str) -> None:
+        """Symmetric inverse of :meth:`_quarantine` (probation path).
+
+        Only the adaptive probation protocol calls this, at matched op
+        indexes on every rank (same agree-at-op discipline as the
+        quarantine itself), so the quarantine set stays symmetric.
+        Hierarchical phase children whose quarantine was inherited from
+        the parent recover with it; a child-local quarantine — a fault
+        observed only inside one phase group — stays put, mirroring the
+        asymmetry of the quarantine cascade.
+        """
+        if backend.name not in self._quarantined:
+            return
+        self._quarantined.discard(backend.name)
+        backend.recover(reason)
+        # recovery changes dispatch exactly like quarantine did: auto
+        # resolution may pick the backend again, explicit dispatch stops
+        # rerouting — compiled plans must recompute
+        self.invalidate_plans(f"unquarantine({backend.name})")
+        self._record_fault("unquarantine", backend.name, reason)
+        for child in self._hier_children:
+            child_backend = child.backends.get(backend.name)
+            if (
+                child_backend is not None
+                and backend.name in child._quarantined
+                and (child_backend.failure_reason or "").startswith("parent: ")
+            ):
+                child._unquarantine(child_backend, f"parent: {reason}")
 
     def _failover_target(
         self, family: OpFamily, nbytes: int, exclude: frozenset = frozenset()
@@ -1300,10 +1382,17 @@ class MCRCommunicator:
             return None
 
         self._collective = recorder  # shadow the bound method
+        retuner = self._retuner
+        was_quiet = retuner.quiet if retuner is not None else False
+        if retuner is not None:
+            # capture posts nothing and must not count as an adaptive op
+            retuner.quiet = True
         try:
             post(backend_name, *args, async_op=True, **kwargs)
         finally:
             del self._collective
+            if retuner is not None:
+                retuner.quiet = was_quiet
         return captured["args"], captured["kwargs"]
 
     def _plan_for_call(self, args: tuple, kwargs: dict) -> CommPlan:
@@ -1395,6 +1484,18 @@ class MCRCommunicator:
         if self._finalized:
             raise MCRError("communicator already finalized")
         ctx = self.ctx
+
+        # adaptive hook for families that never route hierarchically
+        # (the hier-capable entries already primed before resolution);
+        # must precede the plan lookup so pending table edits apply to
+        # this very op.  A probation canary (retuner.quiet) posts from
+        # inside before_op and must not count as a new adaptive op.
+        retuner = self._retuner
+        if retuner is not None:
+            if self._adapt_primed:
+                self._adapt_primed = False
+            elif not retuner.quiet:
+                retuner.before_op(family, nbytes)
 
         # plan lookup: steady state pays one dict probe; first post (or
         # first post after an epoch bump) compiles.  The cache-off path
@@ -1540,7 +1641,8 @@ class MCRCommunicator:
                 # decided once, by the resolving rank, at the transfer's
                 # start time — per-rank clocks cannot split the decision
                 duration *= ctx.system.link_time_factor(
-                    max(a.host_time for a in rdv.arrivals.values())
+                    max(a.host_time for a in rdv.arrivals.values()),
+                    backend.name,
                 )
             duration += codec_us
             if self.config.force_host_staging:
@@ -1616,6 +1718,11 @@ class MCRCommunicator:
             family, backend, nbytes, rdv.flag, async_op, rdv,
             dispatch=dispatch, stream=stream_label,
         )
+        if retuner is not None:
+            # observation rides the rendezvous flag: fire() runs every
+            # rank's callback at one instant with one shared duration,
+            # keeping the per-rank observation streams identical
+            retuner.attach(family, backend.name, nbytes, rdv, backend_name == "auto")
         deadline_us = self.config.op_deadline_us
         if async_op:
             handle = WorkHandle(
@@ -1753,7 +1860,7 @@ class MCRCommunicator:
             ) * (1.0 + self.config.dispatch_fraction)
             start = max(ctx.now, other_time)
             if self._link_faults:
-                cost *= ctx.system.link_time_factor(start)
+                cost *= ctx.system.link_time_factor(start, backend.name)
             end = start + cost
             if not timing_only:
                 recv_buf[:] = send_buf

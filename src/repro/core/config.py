@@ -22,6 +22,74 @@ class CompressionConfig:
 
 
 @dataclass
+class AdaptiveConfig:
+    """Online adaptive dispatch (feedback-driven retuning + probation).
+
+    Off by default: the static offline table of §V-F stays authoritative
+    and healthy-path timings are byte-identical to a build without this
+    subsystem.  When enabled, each top-level communicator grows an
+    :class:`repro.core.adaptive.AdaptiveRetuner` that watches completed
+    collective timings, re-tunes ``"auto"`` table cells whose observed
+    latency drifts from expectation, and periodically re-probes
+    quarantined backends (see docs/INTERNALS.md §14).
+    """
+
+    enabled: bool = False
+    #: EMA smoothing for observed per-cell latencies (weight of the
+    #: newest sample)
+    ema_alpha: float = 0.25
+    #: drift trigger: re-tune when observed EMA exceeds ``drift_ratio``
+    #: times the expected cost (or an alternate's fresh EMA beats the
+    #: serving choice by the same ratio)
+    drift_ratio: float = 1.5
+    #: samples a cell must accumulate before drift can trigger
+    min_samples: int = 6
+    #: consecutive ops each exploration candidate serves during a sweep
+    explore_ops: int = 3
+    #: steady-state exploration: probability (per posted op, decided by a
+    #: deterministic per-op hash so every rank draws identically) of
+    #: serving one op on the round-robin next alternate backend to keep
+    #: its EMA fresh; 0 disables
+    epsilon: float = 0.0
+    #: cap on candidates per exploration sweep (flat backends first,
+    #: then ``hier:*`` composites)
+    max_candidates: int = 6
+    #: score ``hier:<intra>+<inter>`` composites as sweep candidates
+    #: (analytic phase costs scaled by the constituents' observed drift)
+    include_hier: bool = True
+    #: completed ops a cell waits after a retune commit before the drift
+    #: detector re-arms
+    cooldown_ops: int = 12
+    #: posted collectives between probation probes of a quarantined
+    #: backend; 0 disables probation (quarantine stays a one-way door)
+    probation_interval: int = 25
+    #: payload of the timing-only canary posted after an un-quarantine
+    canary_bytes: int = 4096
+    #: seed for the deterministic epsilon-exploration hash
+    seed: int = 0
+
+    def validate(self) -> None:
+        if not 0.0 < self.ema_alpha <= 1.0:
+            raise ValueError("adaptive.ema_alpha must be in (0, 1]")
+        if self.drift_ratio <= 1.0:
+            raise ValueError("adaptive.drift_ratio must be > 1")
+        if self.min_samples < 1:
+            raise ValueError("adaptive.min_samples must be >= 1")
+        if self.explore_ops < 1:
+            raise ValueError("adaptive.explore_ops must be >= 1")
+        if not 0.0 <= self.epsilon < 1.0:
+            raise ValueError("adaptive.epsilon must be in [0, 1)")
+        if self.max_candidates < 1:
+            raise ValueError("adaptive.max_candidates must be >= 1")
+        if self.cooldown_ops < 0:
+            raise ValueError("adaptive.cooldown_ops must be >= 0")
+        if self.probation_interval < 0:
+            raise ValueError("adaptive.probation_interval must be >= 0")
+        if self.canary_bytes < 1:
+            raise ValueError("adaptive.canary_bytes must be >= 1")
+
+
+@dataclass
 class MCRConfig:
     """Configuration of one MCR-DL communicator.
 
@@ -82,6 +150,10 @@ class MCRConfig:
 
     compression: CompressionConfig = field(default_factory=CompressionConfig)
 
+    #: online adaptive dispatch (feedback-driven retuning + backend
+    #: probation); off by default — see :class:`AdaptiveConfig`
+    adaptive: AdaptiveConfig = field(default_factory=AdaptiveConfig)
+
     #: backend used when "auto" is requested but no tuning table entry
     #: matches; None = first initialized backend
     fallback_backend: Optional[str] = None
@@ -117,3 +189,4 @@ class MCRConfig:
             raise ValueError("comm_max_retries must be >= 0")
         if self.retry_backoff_us < 0:
             raise ValueError("retry_backoff_us must be >= 0")
+        self.adaptive.validate()

@@ -78,12 +78,52 @@ class TuningTable:
         self._generation += 1
 
     def merge(self, other: "TuningTable") -> None:
+        """Overlay ``other``'s entries onto this table.
+
+        Merged keys get the same validation as :meth:`add` (and the whole
+        merge is rejected before any entry lands, so a bad ``other`` never
+        leaves this table half-updated).  The lookup memo and
+        ``generation`` only move when an entry actually changed — a no-op
+        merge must not recompile every cached "auto" dispatch plan.
+        """
+        for op, scales in other.entries.items():
+            for ws, buckets in scales.items():
+                if ws < 1:
+                    raise TuningError(f"bad world size {ws} in merged table ({op})")
+                for bucket in buckets:
+                    if bucket < 1 or bucket != message_bucket(bucket):
+                        raise TuningError(
+                            f"bad message bucket {bucket} in merged table "
+                            f"({op}, world size {ws}); buckets are powers of two"
+                        )
+        changed = False
         for op, scales in other.entries.items():
             for ws, buckets in scales.items():
                 for bucket, backend in buckets.items():
-                    self.entries.setdefault(op, {}).setdefault(ws, {})[bucket] = backend
-        self._lookup_cache.clear()
-        self._generation += 1
+                    row = self.entries.setdefault(op, {}).setdefault(ws, {})
+                    if row.get(bucket) != backend:
+                        row[bucket] = backend
+                        changed = True
+        if changed:
+            self._lookup_cache.clear()
+            self._generation += 1
+
+    def clone(self) -> "TuningTable":
+        """Deep copy of the entries under a fresh generation counter.
+
+        Online adaptive dispatch (:mod:`repro.core.adaptive`) edits its
+        communicator's table in place at rank-local op indexes; ranks of
+        an SPMD job that were handed one shared table object must each
+        retune a private clone, or one rank's edit would leak into
+        another rank's dispatch at a different logical op.
+        """
+        return TuningTable(
+            system=self.system,
+            entries={
+                op: {ws: dict(buckets) for ws, buckets in scales.items()}
+                for op, scales in self.entries.items()
+            },
+        )
 
     # -- lookup ------------------------------------------------------------
 
@@ -109,8 +149,16 @@ class TuningTable:
 
     @staticmethod
     def _nearest(candidates: list[int], value: int) -> int:
-        # nearest in log-space: scale and message size both behave
-        # multiplicatively
+        """Nearest candidate in log-space (scale and message size both
+        behave multiplicatively).
+
+        Tie-breaking is part of the contract: when ``value`` sits at the
+        exact geometric midpoint of two tuned neighbours (equal log2
+        distance), the **smaller** candidate wins — ``candidates`` is
+        sorted ascending and ``min`` keeps the first of equal keys.
+        Online retuning (:mod:`repro.core.adaptive`) relies on this being
+        deterministic so every rank resolves the same entry.
+        """
         return min(candidates, key=lambda c: abs(math.log2(c) - math.log2(max(value, 1))))
 
     def num_entries(self) -> int:

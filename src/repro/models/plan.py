@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 
 from repro.backends.ops import OpFamily, ReduceOp
 from repro.core.comm import MCRCommunicator
-from repro.core.config import MCRConfig
+from repro.core.config import AdaptiveConfig, MCRConfig
 from repro.core.handles import WorkHandle
 from repro.core.tuning import TuningTable
 from repro.ext.fusion import FusionConfig, TensorFusion
@@ -146,14 +146,21 @@ class CommDriver:
         enable_logging: bool = False,
         ranks: Optional[Sequence[int]] = None,
         comm_id: Optional[str] = None,
+        adaptive: "Optional[AdaptiveConfig]" = None,
     ):
         self.ctx = ctx
         self.plan = plan
         self.profile = profile
         self._enable_logging = enable_logging
         self._fusion_config = fusion
+        self._adaptive = adaptive
         config = profile.to_config()
         config.enable_logging = enable_logging
+        if adaptive is not None:
+            # online adaptive dispatch (repro.core.adaptive); the
+            # communicator clones the plan's table so retuning never
+            # mutates the shared BackendPlan artifact
+            config.adaptive = adaptive
         backends = plan.backends()
         if not profile.supports_mixing and len(backends) > 1:
             # single-backend frameworks run everything on the plan default
@@ -185,6 +192,7 @@ class CommDriver:
                 enable_logging=self._enable_logging,
                 ranks=ranks,
                 comm_id=comm_id,
+                adaptive=self._adaptive,
             )
         return self._subgroups[key]
 

@@ -73,6 +73,7 @@ class Trainer:
         trace: bool = False,
         faults=None,
         metrics: bool = False,
+        adaptive=None,
     ):
         if steps < 1:
             raise ValueError("need at least one measured step")
@@ -86,6 +87,9 @@ class Trainer:
         #: enable the unified observability registry (repro.obs) with
         #: per-step attribution of every comm interval
         self.metrics = metrics
+        #: optional repro.core.config.AdaptiveConfig enabling online
+        #: adaptive dispatch (feedback-driven retuning + probation)
+        self.adaptive = adaptive
 
     def run(
         self,
@@ -96,10 +100,12 @@ class Trainer:
     ) -> TrainResult:
         steps, warmup = self.steps, self.warmup
         fusion = self.fusion
+        adaptive = self.adaptive
 
         def rank_main(ctx):
             driver = CommDriver(
-                ctx, plan, profile=profile, fusion=fusion, enable_logging=True
+                ctx, plan, profile=profile, fusion=fusion, enable_logging=True,
+                adaptive=adaptive,
             )
             logger = driver.comm.logger
             # step attribution (repro.obs): steps are numbered globally

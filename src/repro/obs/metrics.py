@@ -51,7 +51,9 @@ class ObsEvent:
       retry/failover/quarantine/injected);
     * ``"fusion"`` — one fusion-buffer flush (family = trigger:
       full/timeout/boundary);
-    * ``"tuning"`` — one tuning-suite sample (start..end = latency).
+    * ``"tuning"`` — one tuning-suite sample (start..end = latency);
+    * ``"adapt"``  — one adaptive-dispatch action (family =
+      drift/explore/retune/probation, ``detail`` = transition).
     """
 
     kind: str
@@ -116,18 +118,29 @@ class LogHistogram:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Upper bound of the bucket containing the p-th percentile."""
-        if not self.count:
-            return 0.0
+        """Upper bound of the bucket containing the p-th percentile.
+
+        ``p=0`` returns the exact tracked minimum: the bucket upper bound
+        of the lowest occupied bucket can exceed the true minimum, which
+        would make p0 report a value *above* an observed sample.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile {p} not in [0, 100]")
+        if not self.count:
+            return 0.0
+        if p == 0.0:
+            return self.min
         target = p / 100.0 * self.count
         seen = 0
-        for e in sorted(self.counts):
+        edges = sorted(self.counts)
+        for e in edges[:-1]:
             seen += self.counts[e]
             if seen >= target:
                 return float(2**e)
-        return float(2 ** max(self.counts))  # pragma: no cover - float slack
+        # everything past the second-to-last edge lands in the top bucket;
+        # returning it unconditionally avoids an unreachable float-slack
+        # fallback after the loop
+        return float(2 ** edges[-1])
 
     def to_dict(self) -> dict:
         return {
@@ -231,6 +244,11 @@ class MetricsRegistry:
             self.inc(f"comm.plan.{event.detail}", event.nbytes)
         elif kind == "fault":
             self.inc(f"fault.{event.family}")
+        elif kind == "adapt":
+            # adaptive-dispatch lifecycle: family is the action
+            # (drift/explore/retune/probation), detail carries the
+            # backend transition or probe verdict
+            self.inc(f"tuning.adapt.{event.family}")
         elif kind == "fusion":
             self.inc(f"fusion.{event.family}")
             self.inc("fusion.bytes", event.nbytes)

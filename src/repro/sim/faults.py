@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import json
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import NamedTuple, Optional
 
 import numpy as np
@@ -65,8 +65,11 @@ class BackendFault:
     (the runtime retries with exponential backoff).
 
     ``kind="permanent"``: the backend fails hard at its ``at_op``-th
-    collective (1-based) and every one after; the runtime quarantines it
-    and fails over to a surviving backend.
+    collective (1-based) and every one after.  ``until_op`` bounds the
+    outage: indices at/after it are healthy again, so probation probes
+    (see :mod:`repro.core.adaptive`) can observe the recovery and
+    un-quarantine the backend.  The runtime quarantines it and fails
+    over to a surviving backend either way.
     """
 
     backend: str
@@ -74,6 +77,7 @@ class BackendFault:
     prob: float = 0.0
     max_consecutive: int = 2
     at_op: Optional[int] = None
+    until_op: Optional[int] = None
 
     def validate(self) -> None:
         if self.kind not in ("transient", "permanent"):
@@ -86,6 +90,8 @@ class BackendFault:
         else:
             if self.at_op is None or self.at_op < 1:
                 raise ValueError("permanent fault needs at_op >= 1")
+            if self.until_op is not None and self.until_op <= self.at_op:
+                raise ValueError("permanent fault until_op must be > at_op")
 
 
 @dataclass(frozen=True)
@@ -95,7 +101,11 @@ class LinkFault:
     While active, every transfer's simulated duration is multiplied by
     ``factor`` (>1 = slower).  ``period_us`` > 0 makes the link *flap*:
     within the window it is degraded for the first ``duty`` fraction of
-    each period and healthy for the rest.
+    each period and healthy for the rest.  A non-empty ``backend``
+    scopes the window to transfers dispatched through that backend's
+    fabric lane (e.g. only NVLink/IB paths driven by ``nccl``), which is
+    how a degradation can *reorder* backends instead of slowing all of
+    them uniformly; the default ``""`` degrades every backend.
     """
 
     start_us: float = 0.0
@@ -103,6 +113,7 @@ class LinkFault:
     factor: float = 2.0
     period_us: float = 0.0
     duty: float = 0.5
+    backend: str = ""
 
     def validate(self) -> None:
         if self.factor <= 0:
@@ -114,7 +125,9 @@ class LinkFault:
         if not 0.0 < self.duty <= 1.0:
             raise ValueError("link fault duty must be in (0, 1]")
 
-    def factor_at(self, t_us: float) -> float:
+    def factor_at(self, t_us: float, backend: str = "") -> float:
+        if self.backend and self.backend != backend:
+            return 1.0
         if not self.start_us <= t_us < self.end_us:
             return 1.0
         if self.period_us > 0:
@@ -132,10 +145,10 @@ class LinkSchedule:
     def __init__(self, faults: "tuple[LinkFault, ...]"):
         self.faults = tuple(faults)
 
-    def factor_at(self, t_us: float) -> float:
+    def factor_at(self, t_us: float, backend: str = "") -> float:
         factor = 1.0
         for f in self.faults:
-            factor *= f.factor_at(t_us)
+            factor *= f.factor_at(t_us, backend)
         return factor
 
 
@@ -194,8 +207,9 @@ class FaultSpec:
 
             seed=7
             backend=nccl:transient:prob=0.2[:max=3]
-            backend=mvapich2-gdr:permanent:at=5
-            link=START:END:FACTOR[:period=P][:duty=D]   (END may be 'inf')
+            backend=mvapich2-gdr:permanent:at=5[:until=50]
+            link=START:END:FACTOR[:period=P][:duty=D][:backend=NAME]
+                                                        (END may be 'inf')
             straggler=RANK:SCALE
             stragglers=COUNT:SCALE                      (seeded random picks)
 
@@ -249,20 +263,22 @@ class FaultSpec:
         if len(parts) < 2:
             raise ValueError(f"bad backend fault {value!r} (need NAME:KIND)")
         name, kind, *opts = parts
-        prob, max_consecutive, at_op = 0.0, 2, None
+        prob, max_consecutive, at_op, until_op = 0.0, 2, None, None
         for opt in opts:
             okey, _, oval = opt.partition("=")
             if okey == "prob":
                 prob = float(oval)
             elif okey == "at":
                 at_op = int(oval)
+            elif okey == "until":
+                until_op = int(oval)
             elif okey == "max":
                 max_consecutive = int(oval)
             else:
                 raise ValueError(f"unknown backend fault option {opt!r}")
         return BackendFault(
             backend=name, kind=kind, prob=prob,
-            max_consecutive=max_consecutive, at_op=at_op,
+            max_consecutive=max_consecutive, at_op=at_op, until_op=until_op,
         )
 
     @staticmethod
@@ -282,6 +298,10 @@ class FaultSpec:
                 kwargs["period_us"] = float(oval)
             elif okey == "duty":
                 kwargs["duty"] = float(oval)
+            elif okey == "backend":
+                from repro.backends.base import canonical_name
+
+                kwargs["backend"] = canonical_name(oval)
             else:
                 raise ValueError(f"unknown link fault option {opt!r}")
         return LinkFault(**kwargs)
@@ -333,7 +353,16 @@ class FaultInjector:
         for bf in spec.backend_faults:
             self._by_backend.setdefault(canonical_name(bf.backend), []).append(bf)
         self.link_schedule: Optional[LinkSchedule] = (
-            LinkSchedule(spec.link_faults) if spec.link_faults else None
+            LinkSchedule(
+                tuple(
+                    replace(lf, backend=canonical_name(lf.backend))
+                    if lf.backend
+                    else lf
+                    for lf in spec.link_faults
+                )
+            )
+            if spec.link_faults
+            else None
         )
         #: optional :class:`repro.obs.MetricsRegistry` (installed by the
         #: Simulator); injected decisions are reported into the unified
@@ -385,7 +414,11 @@ class FaultInjector:
             return None
         if not p2p:
             for bf in specs:
-                if bf.kind == "permanent" and op_index >= bf.at_op:
+                if (
+                    bf.kind == "permanent"
+                    and op_index >= bf.at_op
+                    and (bf.until_op is None or op_index < bf.until_op)
+                ):
                     return FaultDecision("permanent", 0)
         for bf in specs:
             if bf.kind == "transient" and bf.prob > 0.0:

@@ -1,0 +1,268 @@
+"""Online adaptive dispatch: drift detection, retuning, and probation.
+
+Every test here runs real SPMD jobs through the Simulator: the adaptive
+retuner's core obligation is that per-rank state evolves identically on
+all ranks (dispatch keys must keep matching), so the tests assert
+cross-rank equality of the snapshot/table/quarantine state — and the
+fact that a run *finishes* is itself the no-deadlock assertion.
+"""
+
+import pytest
+
+from repro.cluster import lassen
+from repro.core import MCRCommunicator, MCRConfig, TuningTable
+from repro.core.config import AdaptiveConfig
+from repro.sim import Simulator
+from repro.sim.faults import FaultSpec
+
+NBYTES = 1 << 20
+
+
+def adaptive_config(**overrides) -> AdaptiveConfig:
+    base = dict(enabled=True, min_samples=5, explore_ops=3, drift_ratio=1.5)
+    base.update(overrides)
+    return AdaptiveConfig(**base)
+
+
+def degraded_table(world_size: int) -> TuningTable:
+    t = TuningTable(system="lassen")
+    t.add("allreduce", world_size, NBYTES, "nccl")
+    return t
+
+
+def run_loop(
+    world_size: int,
+    ops: int,
+    adaptive=None,
+    faults=None,
+    tail_ops: int = 0,
+    epsilon_free: bool = True,
+):
+    """Blocking all-reduce loop; returns per-rank (tail_us, snapshot,
+    table entries, quarantined, plan invalidations)."""
+    table = degraded_table(world_size)
+
+    def rank_main(ctx):
+        config = MCRConfig()
+        if adaptive is not None:
+            config.adaptive = adaptive
+        comm = MCRCommunicator(
+            ctx,
+            ["nccl", "mvapich2-gdr"],
+            config=config,
+            tuning_table=table,
+            comm_id="adapt-test",
+        )
+        x = ctx.virtual_tensor(NBYTES // 4)
+        t_tail = 0.0
+        for i in range(ops):
+            if tail_ops and i == ops - tail_ops:
+                t_tail = ctx.now
+            # block per op so the host clock tracks completions: a
+            # free-running post loop would outrun mid-run fault windows
+            comm.all_reduce("auto", x, async_op=True).synchronize()
+        tail = ctx.now - (t_tail if tail_ops else 0.0)
+        retuner = comm.retuner
+        snap = retuner.snapshot() if retuner is not None else None
+        entries = (
+            {
+                op: {ws: dict(b) for ws, b in scales.items()}
+                for op, scales in retuner.table.entries.items()
+            }
+            if retuner is not None
+            else None
+        )
+        out = (
+            tail,
+            snap,
+            entries,
+            sorted(comm._quarantined),
+            comm.plan_stats["invalidations"],
+        )
+        comm.finalize()
+        return out
+
+    sim = Simulator(world_size, system=lassen(), faults=faults)
+    return sim.run(rank_main).rank_results, table
+
+
+class TestAdaptiveConfig:
+    def test_defaults_off(self):
+        assert not MCRConfig().adaptive.enabled
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(ema_alpha=0.0),
+            dict(ema_alpha=1.5),
+            dict(drift_ratio=1.0),
+            dict(min_samples=0),
+            dict(explore_ops=0),
+            dict(epsilon=1.0),
+            dict(epsilon=-0.1),
+            dict(max_candidates=0),
+            dict(cooldown_ops=-1),
+            dict(probation_interval=-1),
+            dict(canary_bytes=0),
+        ],
+    )
+    def test_bad_values_rejected(self, bad):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(enabled=True, **bad).validate()
+
+    def test_disabled_means_no_retuner(self):
+        results, _ = run_loop(4, 3)
+        for _, snap, entries, _, _ in results:
+            assert snap is None and entries is None
+
+
+class TestDriftRetune:
+    """A mid-run degraded link must flip the cell off its tuned pick."""
+
+    def run_degraded(self):
+        faults = FaultSpec.parse("link=20000:inf:4.0:backend=nccl")
+        return run_loop(
+            16, 150, adaptive=adaptive_config(), faults=faults, tail_ops=40
+        )
+
+    def test_recovers_over_static_table(self):
+        faults = FaultSpec.parse("link=20000:inf:4.0:backend=nccl")
+        static, _ = run_loop(16, 150, faults=faults, tail_ops=40)
+        adaptive, _ = self.run_degraded()
+        static_tail = max(r[0] for r in static)
+        adaptive_tail = max(r[0] for r in adaptive)
+        assert static_tail / adaptive_tail >= 1.2
+
+    def test_full_lifecycle_and_symmetry(self):
+        results, shared_table = self.run_degraded()
+        tails, snaps, entries, quarantined, _ = zip(*results)
+        # identical decisions on every rank
+        assert len(set(map(str, snaps))) == 1
+        assert len(set(map(str, entries))) == 1
+        snap = snaps[0]
+        assert snap["stats"]["drift"] >= 1
+        assert snap["stats"]["explore"] >= 1
+        assert snap["stats"]["retune"] >= 1
+        cell = snap["cells"]["allreduce/%d" % NBYTES]
+        assert cell["current"] != "nccl"
+        # the committed winner landed in the per-rank table...
+        assert entries[0]["allreduce"][16][NBYTES] == cell["current"]
+        # ...while the shared plan table is untouched (per-rank clone)
+        assert shared_table.lookup("allreduce", 16, NBYTES) == "nccl"
+        assert quarantined[0] == []
+
+    def test_healthy_run_is_inert_and_time_identical(self):
+        plain, _ = run_loop(16, 60)
+        adapt, _ = run_loop(16, 60, adaptive=adaptive_config())
+        assert [r[0] for r in plain] == [r[0] for r in adapt]
+        snap = adapt[0][1]
+        assert snap["stats"] == {
+            "drift": 0, "explore": 0, "retune": 0, "probation": 0
+        }
+        cell = snap["cells"]["allreduce/%d" % NBYTES]
+        assert cell["current"] == "nccl"
+        assert adapt[0][2]["allreduce"][16][NBYTES] == "nccl"
+
+
+class TestEpsilonTrials:
+    def test_trials_sample_alternates_without_retuning(self):
+        adaptive = adaptive_config(epsilon=0.2, drift_ratio=10.0)
+        results, _ = run_loop(16, 60, adaptive=adaptive)
+        _, snaps, entries, _, _ = zip(*results)
+        assert len(set(map(str, snaps))) == 1
+        cell = snaps[0]["cells"]["allreduce/%d" % NBYTES]
+        # alternates got sampled...
+        assert cell["count"].get("mvapich2-gdr", 0) >= 1
+        # ...but the cell and table still serve the tuned pick
+        assert cell["current"] == "nccl"
+        assert entries[0]["allreduce"][16][NBYTES] == "nccl"
+
+
+class TestProbation:
+    """quarantine -> probe -> probe -> recovery, symmetric on all ranks."""
+
+    def run_outage(self, probation_interval=4, ops=25):
+        # nccl fails hard at its 3rd collective and recovers at its 6th
+        # (probes increment the same per-backend fault counter, so two
+        # probes fail before the third sees the healthy index)
+        faults = FaultSpec.parse("backend=nccl:permanent:at=3:until=6")
+        adaptive = adaptive_config(
+            probation_interval=probation_interval, drift_ratio=10.0
+        )
+        return run_loop(4, ops, adaptive=adaptive, faults=faults)
+
+    def test_unquarantines_symmetrically(self):
+        results, _ = self.run_outage()
+        _, snaps, entries, quarantined, invalidations = zip(*results)
+        assert len(set(map(str, snaps))) == 1
+        assert len(set(map(str, quarantined))) == 1
+        # the backend is live again on every rank
+        assert quarantined[0] == []
+        assert snaps[0]["stats"]["probation"] >= 2  # failed probes + recovery
+        # quarantine + unquarantine each recompiled the dispatch plans
+        assert invalidations[0] >= 2
+
+    def test_probation_disabled_stays_quarantined(self):
+        faults = FaultSpec.parse("backend=nccl:permanent:at=3:until=6")
+        adaptive = adaptive_config(probation_interval=0, drift_ratio=10.0)
+        results, _ = run_loop(4, 25, adaptive=adaptive, faults=faults)
+        _, snaps, _, quarantined, _ = zip(*results)
+        assert quarantined[0] == ["nccl"]
+        assert snaps[0]["stats"]["probation"] == 0
+
+
+class TestUnquarantineCascade:
+    """Parent recovery lifts inherited child quarantines — and only those."""
+
+    def test_hier_children_follow_parent(self):
+        def rank_main(ctx):
+            comm = MCRCommunicator(
+                ctx, ["nccl", "mvapich2-gdr"], comm_id="cascade-test"
+            )
+            x = ctx.virtual_tensor(1024)
+            # build the phase children
+            comm.all_reduce("hier:nccl+mvapich2-gdr", x)
+            comm.synchronize()
+            children = comm._hier_children
+            assert children
+            comm._quarantine(comm.backends["nccl"], "test outage")
+            inherited = [
+                "nccl" in c._quarantined
+                for c in children
+                if "nccl" in c.backends
+            ]
+            assert inherited and all(inherited)
+            comm._unquarantine(comm.backends["nccl"], "probe cleared")
+            recovered = [
+                "nccl" not in c._quarantined
+                for c in children
+                if "nccl" in c.backends
+            ]
+            assert recovered and all(recovered)
+            assert not comm.backends["nccl"].failed
+            comm.finalize()
+            return True
+
+        assert all(Simulator(16, system=lassen()).run(rank_main).rank_results)
+
+    def test_child_local_quarantine_stays_put(self):
+        def rank_main(ctx):
+            comm = MCRCommunicator(
+                ctx, ["nccl", "mvapich2-gdr"], comm_id="cascade-local"
+            )
+            x = ctx.virtual_tensor(1024)
+            comm.all_reduce("hier:nccl+mvapich2-gdr", x)
+            comm.synchronize()
+            child = next(
+                c for c in comm._hier_children if "nccl" in c.backends
+            )
+            # a fault observed only inside one phase group
+            child._quarantine(child.backends["nccl"], "child-local fault")
+            comm._quarantine(comm.backends["nccl"], "parent outage")
+            comm._unquarantine(comm.backends["nccl"], "probe cleared")
+            # the child's own quarantine is not the parent's to lift
+            assert "nccl" in child._quarantined
+            comm.finalize()
+            return True
+
+        assert all(Simulator(16, system=lassen()).run(rank_main).rank_results)

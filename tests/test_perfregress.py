@@ -25,6 +25,7 @@ def test_scenario_registry_complete():
         "tune_sweep",
         "dispatch_cache",
         "hier_allreduce",
+        "adaptive_degraded_link",
     }
 
 

@@ -119,6 +119,80 @@ class TestTuningTable:
         with pytest.raises(TuningError):
             t.add("allreduce", 4, -1, "nccl")
 
+    def test_merge_bumps_generation_once_per_changing_merge(self):
+        a, b = self.make(), TuningTable()
+        b.add("alltoall", 16, 1024, "mvapich2-gdr")
+        b.add("alltoall", 16, 65536, "nccl")
+        before = a.generation
+        a.merge(b)
+        assert a.generation == before + 1
+
+    def test_noop_merge_keeps_generation_and_memo(self):
+        """Regression: a merge that changes nothing must not invalidate
+        every cached "auto" dispatch plan downstream."""
+        a = self.make()
+        # prime the lookup memo, then merge an identical overlay
+        assert a.lookup("allreduce", 16, 1024) == "mvapich2-gdr"
+        before = a.generation
+        a.merge(self.make())
+        assert a.generation == before
+        assert a._lookup_cache  # memo survived
+        # merging an empty table is also a no-op
+        a.merge(TuningTable())
+        assert a.generation == before
+
+    def test_merge_invalid_keys_rejected_atomically(self):
+        """Regression: merge validates like add(), and a bad overlay must
+        not leave the table half-updated."""
+        a = self.make()
+        before_entries = {
+            op: {ws: dict(b) for ws, b in scales.items()}
+            for op, scales in a.entries.items()
+        }
+        before_gen = a.generation
+
+        bad_ws = TuningTable()
+        bad_ws.entries = {"alltoall": {0: {1024: "nccl"}}}
+        with pytest.raises(TuningError, match="world size"):
+            a.merge(bad_ws)
+
+        bad_bucket = TuningTable()
+        # one good entry *before* the bad one: neither may land
+        bad_bucket.entries = {
+            "allgather": {8: {1024: "nccl"}},
+            "alltoall": {8: {1000: "nccl"}},  # not a power-of-two bucket
+        }
+        with pytest.raises(TuningError, match="bucket"):
+            a.merge(bad_bucket)
+
+        assert a.entries == before_entries
+        assert a.generation == before_gen
+
+    def test_nearest_tie_breaks_to_smaller_candidate(self):
+        """Equidistant log2 neighbours resolve to the smaller entry —
+        pinned because online retuning needs every rank to agree."""
+        # 32 is exactly between tuned scales 16 and 64 in log2 space
+        t = TuningTable(system="lassen")
+        t.add("allreduce", 16, 1024, "small-ws")
+        t.add("allreduce", 64, 1024, "large-ws")
+        assert t.lookup("allreduce", 32, 1024) == "small-ws"
+        # same for message buckets: 2048 is the log2 midpoint of 1024/4096
+        t2 = TuningTable(system="lassen")
+        t2.add("allreduce", 16, 1024, "small-msg")
+        t2.add("allreduce", 16, 4096, "large-msg")
+        assert t2.lookup("allreduce", 16, 2048) == "small-msg"
+        assert TuningTable._nearest([16, 64], 32) == 16
+
+    def test_clone_is_independent(self):
+        a = self.make()
+        c = a.clone()
+        assert c.system == a.system
+        assert c.entries == a.entries
+        assert c.generation == 0
+        c.add("allreduce", 16, 1024, "msccl")
+        assert a.lookup("allreduce", 16, 1024) == "mvapich2-gdr"
+        assert c.lookup("allreduce", 16, 1024) == "msccl"
+
 
 class TestTuner:
     def test_analytic_builds_full_table(self):
