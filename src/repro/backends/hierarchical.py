@@ -35,9 +35,10 @@ bcast-from-leader) where it is correct, and to flat dispatch on the
 inter constituent otherwise; single-node or one-rank-per-node groups
 degenerate to flat dispatch on the matching constituent.
 
-Every phase runs through an ordinary sub-:class:`~repro.core.comm.
-MCRCommunicator`, so it gets the full stack for free: its own dispatch
-plan (one :class:`~repro.core.comm.CommPlan` per phase), rendezvous
+Every phase runs through an ordinary sub-communicator (spawned via
+:meth:`~repro.core.protocols.CommCore.spawn_phase_comm`), so it gets
+the full stack for free: its own dispatch
+plan (one :class:`~repro.core.dispatch.CommPlan` per phase), rendezvous
 matching, fault retry/quarantine/failover per phase backend, and
 phase-tagged comm records (``phase="intra"``/``"inter"``) for the
 observability pipeline.
@@ -66,9 +67,10 @@ from repro.backends.cost import PhaseCost, composite_cost_us
 from repro.backends.ops import OpFamily, ReduceOp
 from repro.core.exceptions import BackendError, ValidationError
 
+from repro.core.protocols import CommCore
+
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.topology import SystemSpec
-    from repro.core.comm import MCRCommunicator
     from repro.core.config import MCRConfig
     from repro.core.handles import WorkHandle
     from repro.tensor import SimTensor
@@ -198,40 +200,24 @@ class HierarchicalExecutor:
     (the first hierarchical dispatch).
     """
 
-    def __init__(self, comm: "MCRCommunicator"):
+    def __init__(self, comm: CommCore):
         self.comm = comm
         self.ctx = comm.ctx
         self.layout = derive_layout(comm.ctx.system, comm.group_ranks)
         self.my_node, self.my_local = self.layout.locate(comm.ctx.rank)
-        self._intra: Optional["MCRCommunicator"] = None
-        self._shards: dict[int, "MCRCommunicator"] = {}
+        self._intra: Optional[CommCore] = None
+        self._shards: dict[int, CommCore] = {}
         self._scratch: dict[tuple, "SimTensor"] = {}
         self._perms: dict[tuple, np.ndarray] = {}
 
     # -- sub-communicators ------------------------------------------------
 
-    def _make_sub(self, ranks, comm_id: str, phase: str) -> "MCRCommunicator":
-        from repro.core.comm import MCRCommunicator
+    def _make_sub(self, ranks, comm_id: str, phase: str) -> CommCore:
+        # construction, phase tagging, quarantine inheritance, and child
+        # registration all live behind the protocol's spawn hook
+        return self.comm.spawn_phase_comm(ranks, comm_id, phase)
 
-        parent = self.comm
-        sub = MCRCommunicator(
-            parent.ctx,
-            list(parent.backends),
-            config=parent.config,
-            comm_id=comm_id,
-            ranks=ranks,
-        )
-        sub._phase_tag = phase
-        # inherit the parent's degraded state: a backend the parent
-        # quarantined must not serve a phase either
-        for name in parent._quarantined:
-            backend = sub.backends.get(name)
-            if backend is not None and name not in sub._quarantined:
-                sub._quarantine(backend, "inherited from parent communicator")
-        parent._hier_children.append(sub)
-        return sub
-
-    def intra_comm(self) -> "MCRCommunicator":
+    def intra_comm(self) -> CommCore:
         """The sub-communicator over this rank's node members."""
         if self._intra is None:
             self._intra = self._make_sub(
@@ -241,7 +227,7 @@ class HierarchicalExecutor:
             )
         return self._intra
 
-    def shard_comm(self, local_index: int) -> "MCRCommunicator":
+    def shard_comm(self, local_index: int) -> CommCore:
         """The sub-communicator over the ranks at ``local_index`` on
         every node (local index 0 = the node leaders).  Only callable by
         a member of that shard."""
@@ -272,7 +258,7 @@ class HierarchicalExecutor:
         return buf
 
     @staticmethod
-    def _sync(sub: "MCRCommunicator", handle: "WorkHandle") -> None:
+    def _sync(sub: CommCore, handle: "WorkHandle") -> None:
         """Host-block on one phase and retire its handle.
 
         Phases *must* host-synchronize before the next post: collective
@@ -289,7 +275,7 @@ class HierarchicalExecutor:
                 pass
 
     def _finish(
-        self, sub: "MCRCommunicator", handle: "WorkHandle", async_op: bool
+        self, sub: CommCore, handle: "WorkHandle", async_op: bool
     ) -> Optional["WorkHandle"]:
         """Apply the caller's async contract to the final phase."""
         if async_op:

@@ -32,9 +32,9 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.backends.ops import ReduceOp
+from repro.core.protocols import CommCore
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.comm import MCRCommunicator
     from repro.sim.process import RankContext
 
 
@@ -197,7 +197,7 @@ class ScheduleExecutor:
     (round, destination chunk) so concurrent transfers never mis-match.
     """
 
-    def __init__(self, ctx: "RankContext", comm: "MCRCommunicator", backend: str):
+    def __init__(self, ctx: "RankContext", comm: CommCore, backend: str):
         self.ctx = ctx
         self.comm = comm
         self.backend = backend
@@ -248,7 +248,7 @@ class ScheduleExecutor:
 
 def emulated_all_reduce(
     ctx: "RankContext",
-    comm: "MCRCommunicator",
+    comm: CommCore,
     backend: str,
     buffer: np.ndarray,
     op: ReduceOp = ReduceOp.SUM,
@@ -264,7 +264,7 @@ def emulated_all_reduce(
 
 def emulated_all_gather(
     ctx: "RankContext",
-    comm: "MCRCommunicator",
+    comm: CommCore,
     backend: str,
     buffer: np.ndarray,
 ) -> None:
@@ -280,7 +280,7 @@ def emulated_all_gather(
 
 def emulated_broadcast(
     ctx: "RankContext",
-    comm: "MCRCommunicator",
+    comm: CommCore,
     backend: str,
     buffer: np.ndarray,
     root: int = 0,

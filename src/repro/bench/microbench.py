@@ -21,6 +21,7 @@ from typing import Optional, Sequence
 from repro.backends.base import create_backend
 from repro.backends.ops import OpFamily
 from repro.cluster.topology import SystemSpec
+from repro.core.api import create_communicator
 from repro.core.config import MCRConfig
 from repro.sim.simulator import Simulator
 
@@ -97,13 +98,12 @@ def framework_latency_us(
     nonblocking: bool = False,
 ) -> float:
     """Per-op latency through a framework's dispatch path (simulated)."""
-    from repro.core.comm import MCRCommunicator
 
     config = config or MCRConfig()
     numel = effective_nbytes(nbytes, world_size) // 4
 
     def bench(ctx):
-        comm = MCRCommunicator(ctx, [backend_name], config=config, comm_id="omb")
+        comm = create_communicator(ctx, [backend_name], config=config, comm_id="omb")
         x = ctx.virtual_tensor(numel)
         out = ctx.virtual_tensor(numel)
         big = ctx.virtual_tensor(numel * ctx.world_size)

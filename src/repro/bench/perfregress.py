@@ -85,6 +85,8 @@ import sys
 import time
 from typing import Any, Callable, Optional
 
+from repro.core import MCRCommunicator
+
 SCHEMA_VERSION = 1
 
 #: scenario registry: name -> zero-arg callable returning a metrics dict.
@@ -150,7 +152,6 @@ def engine_events() -> dict:
 
 def _allreduce_loop(world_size: int, iters: int) -> dict:
     from repro.cluster import lassen
-    from repro.core import MCRCommunicator
     from repro.sim import Simulator
 
     def main(ctx):
@@ -203,7 +204,6 @@ def dispatch_cache() -> dict:
     ``--plan-hit-floor`` (steady state must be >= 0.95).
     """
     from repro.cluster import lassen
-    from repro.core import MCRCommunicator
     from repro.core.config import MCRConfig
     from repro.sim import Simulator
 
@@ -380,7 +380,7 @@ def hier_allreduce() -> dict:
     """
     from repro.backends.ops import OpFamily
     from repro.cluster import lassen
-    from repro.core import MCRCommunicator, Tuner
+    from repro.core import Tuner
     from repro.sim import Simulator
 
     system = lassen()
@@ -443,7 +443,7 @@ def adaptive_degraded_link() -> dict:
     gates ``adapt_recovery`` against ``--adapt-floor``.
     """
     from repro.cluster import lassen
-    from repro.core import MCRCommunicator, MCRConfig, TuningTable
+    from repro.core import MCRConfig, TuningTable
     from repro.core.config import AdaptiveConfig
     from repro.sim import Simulator
     from repro.sim.faults import FaultSpec

@@ -2,7 +2,10 @@
 
 * :mod:`repro.core.api` — the module-level API of Listing 1 (import it
   as ``mcr_dl``);
-* :class:`repro.core.comm.MCRCommunicator` — the per-rank object API;
+* :class:`repro.core.comm.MCRCommunicator` — the per-rank object API
+  (layered over :mod:`repro.core.dispatch` and
+  :mod:`repro.core.rendezvous`; extensions program against the
+  :class:`repro.core.protocols.CommCore` protocol);
 * :class:`repro.core.config.MCRConfig` — runtime configuration
   (synchronization scheme, stream pools, MPI stream modes, compression);
 * :class:`repro.core.tuning.TuningTable` /
@@ -25,6 +28,7 @@ from repro.core.exceptions import (
     ValidationError,
 )
 from repro.core.handles import CompletedHandle, WorkHandle
+from repro.core.protocols import CommCore
 from repro.core.tuner import Tuner, TuningReport, DEFAULT_MESSAGE_SIZES, DEFAULT_OPS
 from repro.core.tuning import TuningTable, message_bucket
 
@@ -32,6 +36,7 @@ __all__ = [
     "OpFamily",
     "ReduceOp",
     "MCRCommunicator",
+    "CommCore",
     "MCRConfig",
     "CompressionConfig",
     "AdaptiveConfig",

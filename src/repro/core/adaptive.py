@@ -54,7 +54,7 @@ from repro.core.tuning import message_bucket
 from repro.obs.metrics import LogHistogram, ObsEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.comm import MCRCommunicator
+    from repro.core.protocols import CommCore
 
 #: action names mirrored into ``tuning.adapt.{name}`` counters
 ACTIONS = ("drift", "explore", "retune", "probation")
@@ -109,7 +109,7 @@ class AdaptiveRetuner:
     for the two-domain symmetry argument.
     """
 
-    def __init__(self, comm: "MCRCommunicator"):
+    def __init__(self, comm: "CommCore"):
         self.comm = comm
         self.ctx = comm.ctx
         self.cfg = comm.config.adaptive
@@ -228,7 +228,7 @@ class AdaptiveRetuner:
     # -- probation (quarantine recovery) -----------------------------------
 
     def on_quarantine(self, backend_name: str) -> None:
-        """Called by :meth:`MCRCommunicator._quarantine` — post domain,
+        """Called by the dispatch layer's ``_quarantine`` — post domain,
         at the same op index on every rank."""
         self._sh["quarantined"].add(backend_name)
         interval = self.cfg.probation_interval

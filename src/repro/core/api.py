@@ -32,6 +32,7 @@ from repro.core.comm import MCRCommunicator
 from repro.core.config import MCRConfig
 from repro.core.exceptions import MCRError
 from repro.core.handles import WorkHandle
+from repro.core.protocols import CommCore
 from repro.core.tuning import TuningTable
 from repro.sim.process import RankContext
 from repro.tensor import SimTensor
@@ -76,6 +77,32 @@ def _comm() -> MCRCommunicator:
 def available() -> list[str]:
     """Canonical names of all registered backend classes."""
     return _available_backends()
+
+
+def create_communicator(
+    ctx: RankContext,
+    backends: "str | Sequence[str]",
+    config: Optional[MCRConfig] = None,
+    tuning_table: Optional[TuningTable] = None,
+    comm_id: str = "world",
+    ranks: Optional[Sequence[int]] = None,
+) -> CommCore:
+    """Construct a concrete communicator for an explicit rank context.
+
+    This is the object-API entry point for framework shims and
+    benchmarks: they hold a :class:`~repro.core.protocols.CommCore`
+    and never import the concrete
+    :class:`~repro.core.comm.MCRCommunicator` class (enforced by
+    ``scripts/check_imports.py``).
+    """
+    return MCRCommunicator(
+        ctx,
+        backends,
+        config=config,
+        tuning_table=tuning_table,
+        comm_id=comm_id,
+        ranks=ranks,
+    )
 
 
 def init(

@@ -1,4 +1,4 @@
-"""The MCR-DL communicator.
+"""The MCR-DL communicator: the op-surface layer of the comm core.
 
 One :class:`MCRCommunicator` per rank binds any number of communication
 backends under the unified API of the paper's Listing 1: every
@@ -6,151 +6,67 @@ point-to-point and collective operation — including vectored and
 non-blocking variants — dispatched per call to an explicit backend, or
 to ``"auto"`` for tuning-table selection (§V-F).
 
-Collectives rendezvous through shared simulation state keyed by a
-per-backend sequence number, exactly like communicator-ordered
-collective calls in NCCL/MPI: symmetric programs match up, mismatched
-programs deadlock (and the engine reports it), and argument mismatches
-raise :class:`~repro.core.exceptions.ValidationError` at the rendezvous.
+The communicator is composed of three layers with one-directional
+dependencies (``docs/INTERNALS.md`` §15):
 
-Steady-state dispatch runs through a compile-once plan cache
-(:class:`CommPlan`): everything derivable from a call's signature alone
-— resolved backend, interned labels, dispatch cost, codec arithmetic,
-stream placement, tagged rendezvous meta — is snapshotted on first post
-and re-used per call, the way MPI-4 persistent operations and pre-built
-communication plans amortize per-call setup (paper §V-E).  A single
-plan epoch, bumped on tuning-table installs, quarantines, and
-codec/synchronization changes, keeps degraded-mode behavior and
-simulated timings bit-identical to the uncached path.
+* **op surface** (this module) — each public collective is one
+  :class:`CollectiveSpec` table row: op family, argument
+  validation/meta builder (``prepare``), datapath mover, hierarchical
+  capability, and the ``force_host``/``compressible``/``vector``
+  flags.  The shared pre-dispatch hook chain (``retuner.before_op`` →
+  ``_adapt_primed`` → ``_hier_target``) runs uniformly for every
+  family from :meth:`MCRCommunicator._post`;
+* **dispatch** (:mod:`repro.core.dispatch`) — backend resolution,
+  fault quarantine/failover, and the compiled
+  :class:`~repro.core.dispatch.CommPlan` cache;
+* **execution** (:mod:`repro.core.rendezvous`) — rendezvous matching
+  and the collective/p2p spines over the simulation engine.
+
+Code outside ``repro.core`` programs against the narrow
+:class:`~repro.core.protocols.CommCore` protocol instead of this
+concrete class (enforced by ``scripts/check_imports.py``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.backends import datapath
 from repro.backends.base import Backend, canonical_name, create_backend
-from repro.backends.ops import OpFamily, ReduceOp
-from repro.core.config import CompressionConfig, MCRConfig
-from repro.core.exceptions import (
-    BackendError,
-    CommTimeoutError,
-    MCRError,
-    ValidationError,
+from repro.backends.ops import ReduceOp
+from repro.core.config import MCRConfig
+from repro.core.dispatch import CommPlan, DispatchLayer
+from repro.core.exceptions import BackendError, ValidationError
+from repro.core.handles import WorkHandle
+from repro.core.op_table import (
+    _ALL_GATHER,
+    _ALL_GATHERV,
+    _ALL_REDUCE,
+    _ALL_TO_ALL,
+    _ALL_TO_ALL_SINGLE,
+    _ALL_TO_ALLV,
+    _BARRIER,
+    _BCAST,
+    _GATHER,
+    _GATHERV,
+    _REDUCE,
+    _REDUCE_SCATTER,
+    _SCATTER,
+    _SCATTERV,
+    CollectiveSpec,
 )
-from repro.core.handles import CompletedHandle, WorkHandle
+from repro.core.rendezvous import ExecutionLayer
 from repro.core.sync import SyncManager
 from repro.core.tuning import TuningTable
-from repro.sim.engine import Flag
-from repro.sim.graph import CollectiveGroup, resolve
 from repro.sim.process import RankContext
 from repro.tensor import SimTensor
 
-
-#: stand-in data-plane buffer for virtual (timing-only) tensors
-_VIRTUAL_BUF = np.empty(0, dtype=np.float32)
+__all__ = ["CollectiveSpec", "CommPlan", "MCRCommunicator"]
 
 
-@dataclass(slots=True)
-class CommPlan:
-    """One compiled dispatch plan (paper §V-E persistent-op amortization).
-
-    Snapshots everything :meth:`MCRCommunicator._collective` can derive
-    from the call signature alone, keyed per (requested backend, op
-    family, rendezvous meta, nbytes, vector/force_host/compressible,
-    timing-only) so a steady-state training step pays one dict lookup
-    instead of re-deriving tuning choice, labels, codec arithmetic, and
-    stream placement on every post.
-
-    Validity is epoch-based: ``epoch`` must match the communicator's
-    plan epoch (bumped on tuning-table installs, quarantines, and
-    codec/synchronization changes), and plans compiled through the
-    ``"auto"`` path additionally pin the tuning table's generation so
-    in-place table edits (``add``/``merge``) recompile without an
-    explicit reinstall.  Compilation itself never advances the virtual
-    clock, so cached and uncached dispatch are byte-identical.
-    """
-
-    epoch: int
-    #: tuning-table generation consulted at compile time; -1 when the
-    #: plan did not go through the table (explicit backend, or no table)
-    table_generation: int
-    backend: Backend
-    #: backend name after §V-F resolution but *before* the fault gate —
-    #: the reference point for "reroute" dispatch attribution
-    resolved_name: str
-    label: str
-    dispatch_reason: str
-    #: dispatch attribution when the fault gate does not reroute
-    dispatch_kind: str
-    dispatch_cost_us: float
-    codec: object
-    wire_bytes: int
-    codec_us: float
-    stream_kind: bool
-    #: rendezvous meta with the virtual/real data-plane tag appended
-    meta_tagged: tuple
-
-
-@dataclass(slots=True)
-class _Arrival:
-    """One rank's registration at a collective rendezvous."""
-
-    rank: int
-    host_time: float
-    inputs: list[np.ndarray]
-    outputs: list[np.ndarray]
-    extras: dict = field(default_factory=dict)
-
-
-class _Rendezvous:
-    """Shared per-collective matching record."""
-
-    __slots__ = (
-        "key",
-        "expected",
-        "family",
-        "meta",
-        "flag",
-        "stream_kind",
-        "group",
-        "arrivals",
-        "resolved",
-        "claimed",
-        "duration",
-    )
-
-    def __init__(
-        self,
-        key: tuple,
-        expected: int,
-        family: OpFamily,
-        meta: tuple,
-        flag: Flag,
-        stream_kind: bool,
-    ):
-        self.key = key
-        self.expected = expected
-        self.family = family
-        self.meta = meta
-        self.flag = flag
-        self.stream_kind = stream_kind
-        self.group: Optional[CollectiveGroup] = (
-            CollectiveGroup(expected, flag, label=str(key)) if stream_kind else None
-        )
-        self.arrivals: dict[int, _Arrival] = {}
-        self.resolved = False
-        #: set by the rank that takes responsibility for resolution (the
-        #: pre-post host sync can let several ranks observe "all arrived")
-        self.claimed = False
-        #: transfer duration (µs), known once the last rank arrives
-        self.duration: Optional[float] = None
-
-
-class MCRCommunicator:
+class MCRCommunicator(DispatchLayer, ExecutionLayer):
     """Per-rank MCR-DL instance over a set of backends.
 
     Construct one on every rank (same backend list everywhere), usually
@@ -238,8 +154,8 @@ class MCRCommunicator:
         # the executor and its sub-communicators are built lazily on the
         # first hierarchical dispatch; ``_phase_tag`` marks this
         # communicator as one phase of a parent's decomposition (set by
-        # HierarchicalExecutor right after construction) and flows into
-        # op labels and comm records
+        # spawn_phase_comm's caller) and flows into op labels and comm
+        # records
         self._phase_tag = ""
         self._hier_children: list["MCRCommunicator"] = []
         self._hier_exec = None
@@ -392,98 +308,72 @@ class MCRCommunicator:
             backend.finalize()
         self._finalized = True
 
-    # ------------------------------------------------------------------
-    # dispatch plan cache (§V-E persistent-op amortization)
-    # ------------------------------------------------------------------
+    def spawn_phase_comm(
+        self, ranks: Sequence[int], comm_id: str, phase: str
+    ) -> "MCRCommunicator":
+        """Construct a phase sub-communicator over a rank subset.
 
-    @property
-    def tuning_table(self) -> Optional[TuningTable]:
-        """The table consulted by ``"auto"`` dispatch (§V-F).
-
-        Assigning a new table invalidates every compiled plan; in-place
-        mutation of the installed table is caught per-lookup through the
-        table's generation counter instead.
+        This is the hierarchical executor's entry point for building its
+        intra-node and shard groups: the child shares this
+        communicator's backends and config, carries ``phase`` in its op
+        labels and comm records, inherits the parent's quarantines
+        (a backend the parent declared dead must not serve a phase), and
+        registers in ``_hier_children`` so quarantine/unquarantine
+        cascades, plan invalidation, synchronize, and finalize all reach
+        it.
         """
-        return self._tuning_table
-
-    @tuning_table.setter
-    def tuning_table(self, table: Optional[TuningTable]) -> None:
-        self._tuning_table = table
-        self.invalidate_plans("tuning-table install/swap")
-
-    def invalidate_plans(self, reason: str = "") -> None:
-        """Bump the plan epoch: every compiled plan recompiles on next use.
-
-        Called automatically on tuning-table install/swap, backend
-        quarantine, and codec/synchronization changes.  Call it manually
-        after mutating state the communicator snapshots at construction
-        or compile time — e.g. installing a link-degradation schedule on
-        the SystemSpec mid-run — so the refreshed gates below take
-        effect with the same invalidation discipline as the plans.
-        """
-        self._plan_epoch += 1
-        self._plan_invalidations += 1
-        self._plans.clear()
-        self._link_faults = (
-            getattr(self.ctx.system, "link_degradation", None) is not None
+        sub = MCRCommunicator(
+            self.ctx,
+            list(self.backends),
+            config=self.config,
+            comm_id=comm_id,
+            ranks=ranks,
         )
-        injector = self.ctx.shared.get("fault_injector")
-        if injector is not None and not self._fault_gate:
-            self._injector = injector
-            self._fault_gate = True
-            from repro.ext.logging_ext import CommLogger
-
-            self._fault_log = CommLogger.shared(self.ctx)
-        # hierarchical phase communicators snapshot the same state
-        # (plans, fault gates); one epoch covers the whole family
-        for child in self._hier_children:
-            child.invalidate_plans(reason)
-
-    def set_compression(self, compression: CompressionConfig) -> None:
-        """Enable/disable/retune lossy compression mid-run (§V-E).
-
-        Rebinds the codec and invalidates compiled plans so wire sizes
-        and codec costs recompute; mutating ``config.compression`` in
-        place would leave stale plans serving the old codec.
-        """
-        self.config.compression = compression
-        self._codec = None
-        if compression.enabled:
-            from repro.ext.compression import FixedRateCodec
-
-            self._codec = FixedRateCodec(compression.rate_bits)
-        self.invalidate_plans("codec change")
-
-    def set_synchronization(self, mode: str) -> None:
-        """Switch the synchronization scheme mid-run (Fig. 4a vs 4b).
-
-        Plan-invalidating: stream-vs-host placement is plan state.
-        """
-        self.config.synchronization = mode
-        self.config.validate()
-        self.invalidate_plans("synchronization change")
-
-    @property
-    def retuner(self):
-        """This rank's :class:`repro.core.adaptive.AdaptiveRetuner`, or
-        None when ``config.adaptive.enabled`` is off (the default)."""
-        return self._retuner
-
-    @property
-    def plan_stats(self) -> dict:
-        """Plan-cache effectiveness: hit/miss/invalidation counts, the
-        number of resident plans, and the steady-state hit rate."""
-        total = self._plan_hits + self._plan_misses
-        return {
-            "hits": self._plan_hits,
-            "misses": self._plan_misses,
-            "invalidations": self._plan_invalidations,
-            "plans": len(self._plans),
-            "hit_rate": self._plan_hits / total if total else 0.0,
-        }
+        sub._phase_tag = phase
+        for name in self._quarantined:
+            backend = sub.backends.get(name)
+            if backend is not None and name not in sub._quarantined:
+                sub._quarantine(backend, "inherited from parent communicator")
+        self._hier_children.append(sub)
+        return sub
 
     # ------------------------------------------------------------------
-    # collectives (Listing 1)
+    # the shared pre-dispatch driver
+    # ------------------------------------------------------------------
+
+    def _post(
+        self, spec: CollectiveSpec, backend_name: str, args: tuple, async_op: bool
+    ) -> Optional[WorkHandle]:
+        """Run one table row: validate/prepare, then the uniform
+        pre-dispatch hook chain, then hand off to the dispatch layer.
+
+        The hook chain runs identically for *every* family:
+
+        1. ``retuner.before_op`` — adaptive pre-op accounting (pending
+           table edits apply to the op being posted; ``_adapt_primed``
+           keeps the ``_collective`` fallback from counting it twice);
+        2. ``_hier_target`` — hierarchical composite routing for the
+           families that decompose (``spec.hier_op``).
+        """
+        prep = spec.prepare(self, *args)
+        retuner = self._retuner
+        if retuner is not None and not retuner.quiet:
+            retuner.before_op(spec.family, prep.nbytes)
+            self._adapt_primed = True
+        if spec.hier_op is not None:
+            hspec = self._hier_target(backend_name, spec.family, prep.nbytes)
+            if hspec is not None:
+                self._adapt_primed = False
+                return getattr(self._hier(), spec.hier_op)(hspec, *args, async_op)
+        return self._collective(
+            backend_name, spec.family, prep.nbytes, prep.inputs, prep.outputs,
+            prep.move, meta=prep.meta, async_op=async_op, vector=spec.vector,
+            force_host=spec.force_host, compressible=spec.compressible,
+            extras=prep.extras, tensors=prep.tensors,
+        )
+
+    # ------------------------------------------------------------------
+    # collectives (Listing 1): thin table-driven wrappers
     # ------------------------------------------------------------------
 
     def all_reduce(
@@ -494,28 +384,7 @@ class MCRCommunicator:
         async_op: bool = False,
     ) -> Optional[WorkHandle]:
         """In-place allreduce of ``tensor`` across all ranks."""
-        buf = self._flat(tensor)
-        nbytes = tensor.nbytes()
-        retuner = self._retuner
-        if retuner is not None and not retuner.quiet:
-            # adaptive hook runs before hier/flat resolution so pending
-            # table edits affect the op being posted; _adapt_primed
-            # keeps _collective from counting this op twice
-            retuner.before_op(OpFamily.ALLREDUCE, nbytes)
-            self._adapt_primed = True
-        spec = self._hier_target(backend, OpFamily.ALLREDUCE, nbytes)
-        if spec is not None:
-            self._adapt_primed = False
-            return self._hier().all_reduce(spec, tensor, op, async_op)
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.all_reduce([a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals], op)
-
-        return self._collective(
-            backend, OpFamily.ALLREDUCE, nbytes, [buf], [buf], move,
-            meta=("allreduce", tensor.numel(), tensor.dtype.name, op.value),
-            async_op=async_op, tensors=(tensor,),
-        )
+        return self._post(_ALL_REDUCE, backend, (tensor, op), async_op)
 
     def reduce(
         self,
@@ -526,41 +395,13 @@ class MCRCommunicator:
         async_op: bool = False,
     ) -> Optional[WorkHandle]:
         """Reduce into ``tensor`` on ``root`` (other ranks' tensors are inputs)."""
-        self._check_root(root)
-        buf = self._flat(tensor)
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.reduce([a.inputs[0] for a in arrivals], arrivals[root].outputs[0], op)
-
-        return self._collective(
-            backend, OpFamily.REDUCE, tensor.nbytes(), [buf], [buf], move,
-            meta=("reduce", tensor.numel(), tensor.dtype.name, op.value, root),
-            async_op=async_op, tensors=(tensor,),
-        )
+        return self._post(_REDUCE, backend, (tensor, root, op), async_op)
 
     def bcast(
         self, backend: str, tensor: SimTensor, root: int = 0, async_op: bool = False
     ) -> Optional[WorkHandle]:
         """Broadcast ``root``'s tensor into everyone's tensor (in place)."""
-        self._check_root(root)
-        buf = self._flat(tensor)
-        retuner = self._retuner
-        if retuner is not None and not retuner.quiet:
-            retuner.before_op(OpFamily.BROADCAST, tensor.nbytes())
-            self._adapt_primed = True
-        spec = self._hier_target(backend, OpFamily.BROADCAST, tensor.nbytes())
-        if spec is not None:
-            self._adapt_primed = False
-            return self._hier().bcast(spec, tensor, root, async_op)
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.broadcast(arrivals[root].inputs[0], [a.outputs[0] for a in arrivals])
-
-        return self._collective(
-            backend, OpFamily.BROADCAST, tensor.nbytes(), [buf], [buf], move,
-            meta=("bcast", tensor.numel(), tensor.dtype.name, root),
-            async_op=async_op, compressible=False, tensors=(tensor,),
-        )
+        return self._post(_BCAST, backend, (tensor, root), async_op)
 
     broadcast = bcast
 
@@ -569,29 +410,7 @@ class MCRCommunicator:
     ) -> Optional[WorkHandle]:
         """Gather every rank's ``input`` into every rank's ``output``
         (rank-major order); output numel must be world_size * input numel."""
-        in_buf, out_buf = self._flat(input), self._flat(output)
-        retuner = self._retuner
-        if retuner is not None and not retuner.quiet:
-            retuner.before_op(OpFamily.ALLGATHER, input.nbytes())
-            self._adapt_primed = True
-        spec = self._hier_target(backend, OpFamily.ALLGATHER, input.nbytes())
-        if spec is not None:
-            self._adapt_primed = False
-            return self._hier().all_gather(spec, output, input, async_op)
-        if output.numel() != input.numel() * self.world_size:
-            raise ValidationError(
-                f"all_gather: output numel {output.numel()} != "
-                f"{self.world_size} * {input.numel()}"
-            )
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.all_gather([a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals])
-
-        return self._collective(
-            backend, OpFamily.ALLGATHER, input.nbytes(), [in_buf], [out_buf], move,
-            meta=("all_gather", input.numel(), input.dtype.name),
-            async_op=async_op, compressible=False, tensors=(input, output),
-        )
+        return self._post(_ALL_GATHER, backend, (output, input), async_op)
 
     #: PyTorch spelling used in the paper's Listing 2
     all_gather_base = all_gather
@@ -605,56 +424,14 @@ class MCRCommunicator:
         async_op: bool = False,
     ) -> Optional[WorkHandle]:
         """Reduce full ``input`` vectors and scatter 1/p chunks into ``output``."""
-        in_buf, out_buf = self._flat(input), self._flat(output)
-        if input.numel() != output.numel() * self.world_size:
-            raise ValidationError(
-                f"reduce_scatter: input numel {input.numel()} != "
-                f"{self.world_size} * {output.numel()}"
-            )
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.reduce_scatter(
-                [a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals], op
-            )
-
-        return self._collective(
-            backend, OpFamily.REDUCE_SCATTER, input.nbytes(), [in_buf], [out_buf], move,
-            meta=("reduce_scatter", input.numel(), input.dtype.name, op.value),
-            async_op=async_op, tensors=(input, output),
-        )
+        return self._post(_REDUCE_SCATTER, backend, (output, input, op), async_op)
 
     def all_to_all_single(
         self, backend: str, output: SimTensor, input: SimTensor, async_op: bool = False
     ) -> Optional[WorkHandle]:
         """Shuffle equal chunks of ``input`` elements across ranks
         (PyTorch's all_to_all_single)."""
-        in_buf, out_buf = self._flat(input), self._flat(output)
-        retuner = self._retuner
-        if retuner is not None and not retuner.quiet:
-            retuner.before_op(OpFamily.ALLTOALL, input.nbytes())
-            self._adapt_primed = True
-        spec = self._hier_target(backend, OpFamily.ALLTOALL, input.nbytes())
-        if spec is not None:
-            self._adapt_primed = False
-            return self._hier().all_to_all_single(spec, output, input, async_op)
-        if input.numel() != output.numel():
-            raise ValidationError("all_to_all_single: input/output numel differ")
-        if input.numel() % self.world_size != 0:
-            raise ValidationError(
-                f"all_to_all_single: numel {input.numel()} not divisible by "
-                f"world size {self.world_size}"
-            )
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.all_to_all_single(
-                [a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals]
-            )
-
-        return self._collective(
-            backend, OpFamily.ALLTOALL, input.nbytes(), [in_buf], [out_buf], move,
-            meta=("all_to_all_single", input.numel(), input.dtype.name),
-            async_op=async_op, compressible=False, tensors=(input, output),
-        )
+        return self._post(_ALL_TO_ALL_SINGLE, backend, (output, input), async_op)
 
     def all_to_all(
         self,
@@ -666,37 +443,7 @@ class MCRCommunicator:
         """List-of-tensors alltoall (PyTorch convention, §V-A): rank i's
         ``input[j]`` lands in rank j's ``output[i]``.  Per-pair sizes may
         vary but must agree pairwise."""
-        if len(input) != self.world_size or len(output) != self.world_size:
-            raise ValidationError(
-                f"all_to_all: need {self.world_size} tensors per list, got "
-                f"{len(input)}/{len(output)}"
-            )
-        in_bufs = [self._flat(t) for t in input]
-        out_bufs = [self._flat(t) for t in output]
-        nbytes = sum(t.nbytes() for t in input)
-
-        def move(arrivals: list[_Arrival]) -> None:
-            p = len(arrivals)
-            for i in range(p):
-                for j in range(p):
-                    src = arrivals[i].inputs[j]
-                    dst = arrivals[j].outputs[i]
-                    if src.size != dst.size:
-                        raise ValidationError(
-                            f"all_to_all: rank {i}->rank {j} size mismatch "
-                            f"({src.size} vs {dst.size})"
-                        )
-            staged = [[np.array(b, copy=True) for b in a.inputs] for a in arrivals]
-            for i in range(p):
-                for j in range(p):
-                    arrivals[j].outputs[i][:] = staged[i][j]
-
-        return self._collective(
-            backend, OpFamily.ALLTOALL, nbytes, in_bufs, out_bufs, move,
-            meta=("all_to_all", self.world_size),
-            async_op=async_op, compressible=False,
-            tensors=(*input, *output),
-        )
+        return self._post(_ALL_TO_ALL, backend, (output, input), async_op)
 
     def gather(
         self,
@@ -707,24 +454,7 @@ class MCRCommunicator:
         async_op: bool = False,
     ) -> Optional[WorkHandle]:
         """Gather every rank's ``input`` into ``output`` on ``root``."""
-        self._check_root(root)
-        in_buf = self._flat(input)
-        out_bufs = []
-        if self.rank == root:
-            if output is None:
-                raise ValidationError("gather: root must pass an output tensor")
-            if output.numel() != input.numel() * self.world_size:
-                raise ValidationError("gather: root output numel mismatch")
-            out_bufs = [self._flat(output)]
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.gather([a.inputs[0] for a in arrivals], arrivals[root].outputs[0])
-
-        return self._collective(
-            backend, OpFamily.GATHER, input.nbytes(), [in_buf], out_bufs, move,
-            meta=("gather", input.numel(), input.dtype.name, root),
-            async_op=async_op, compressible=False, tensors=(input, output),
-        )
+        return self._post(_GATHER, backend, (input, output, root), async_op)
 
     def scatter(
         self,
@@ -735,24 +465,7 @@ class MCRCommunicator:
         async_op: bool = False,
     ) -> Optional[WorkHandle]:
         """Scatter ``root``'s ``input`` in equal chunks into each ``output``."""
-        self._check_root(root)
-        out_buf = self._flat(output)
-        in_bufs = []
-        if self.rank == root:
-            if input is None:
-                raise ValidationError("scatter: root must pass an input tensor")
-            if input.numel() != output.numel() * self.world_size:
-                raise ValidationError("scatter: root input numel mismatch")
-            in_bufs = [self._flat(input)]
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.scatter(arrivals[root].inputs[0], [a.outputs[0] for a in arrivals])
-
-        return self._collective(
-            backend, OpFamily.SCATTER, output.nbytes(), in_bufs, [out_buf], move,
-            meta=("scatter", output.numel(), output.dtype.name, root),
-            async_op=async_op, compressible=False, tensors=(input, output),
-        )
+        return self._post(_SCATTER, backend, (output, input, root), async_op)
 
     # -- vectored collectives (§V-A: supported for all backends) ----------
 
@@ -768,30 +481,8 @@ class MCRCommunicator:
     ) -> Optional[WorkHandle]:
         """MPI_Gatherv: rank i contributes ``rcounts[i]`` elements, landing
         at ``displs[i]`` in the root's ``output``."""
-        self._check_root(root)
-        rcounts, displs = self._check_v_args(rcounts, displs)
-        in_buf = self._flat(input)
-        if input.numel() < rcounts[self.rank]:
-            raise ValidationError(
-                f"gatherv: rank {self.rank} input smaller than rcount"
-            )
-        out_bufs = []
-        if self.rank == root:
-            if output is None:
-                raise ValidationError("gatherv: root must pass an output tensor")
-            out_bufs = [self._flat(output)]
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.gather_v(
-                [a.inputs[0] for a in arrivals], arrivals[root].outputs[0], rcounts, displs
-            )
-
-        nbytes = max(rcounts) * input.element_size()
-        return self._collective(
-            backend, OpFamily.GATHER, nbytes, [in_buf], out_bufs, move,
-            meta=("gatherv", tuple(rcounts), tuple(displs), input.dtype.name, root),
-            async_op=async_op, vector=True, compressible=False,
-            tensors=(input, output),
+        return self._post(
+            _GATHERV, backend, (input, output, rcounts, displs, root), async_op
         )
 
     def scatterv(
@@ -806,30 +497,8 @@ class MCRCommunicator:
     ) -> Optional[WorkHandle]:
         """MPI_Scatterv: root sends ``scounts[i]`` elements from offset
         ``displs[i]`` to rank i."""
-        self._check_root(root)
-        scounts, displs = self._check_v_args(scounts, displs)
-        out_buf = self._flat(output)
-        if output.numel() < scounts[self.rank]:
-            raise ValidationError(
-                f"scatterv: rank {self.rank} output smaller than scount"
-            )
-        in_bufs = []
-        if self.rank == root:
-            if input is None:
-                raise ValidationError("scatterv: root must pass an input tensor")
-            in_bufs = [self._flat(input)]
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.scatter_v(
-                arrivals[root].inputs[0], [a.outputs[0] for a in arrivals], scounts, displs
-            )
-
-        nbytes = max(scounts) * output.element_size()
-        return self._collective(
-            backend, OpFamily.SCATTER, nbytes, in_bufs, [out_buf], move,
-            meta=("scatterv", tuple(scounts), tuple(displs), output.dtype.name, root),
-            async_op=async_op, vector=True, compressible=False,
-            tensors=(input, output),
+        return self._post(
+            _SCATTERV, backend, (output, input, scounts, displs, root), async_op
         )
 
     def all_gatherv(
@@ -842,23 +511,8 @@ class MCRCommunicator:
         async_op: bool = False,
     ) -> Optional[WorkHandle]:
         """MPI_Allgatherv: like gatherv but every rank gets the result."""
-        rcounts, displs = self._check_v_args(rcounts, displs)
-        in_buf, out_buf = self._flat(input), self._flat(output)
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.all_gather_v(
-                [a.inputs[0] for a in arrivals],
-                [a.outputs[0] for a in arrivals],
-                rcounts,
-                displs,
-            )
-
-        nbytes = max(rcounts) * input.element_size()
-        return self._collective(
-            backend, OpFamily.ALLGATHER, nbytes, [in_buf], [out_buf], move,
-            meta=("all_gatherv", tuple(rcounts), tuple(displs), input.dtype.name),
-            async_op=async_op, vector=True, compressible=False,
-            tensors=(input, output),
+        return self._post(
+            _ALL_GATHERV, backend, (output, input, rcounts, displs), async_op
         )
 
     def all_to_allv(
@@ -874,46 +528,21 @@ class MCRCommunicator:
     ) -> Optional[WorkHandle]:
         """MPI_Alltoallv: each rank passes its own send/recv count and
         displacement rows (lengths = world size)."""
-        scounts, sdispls = self._check_v_args(scounts, sdispls)
-        rcounts, rdispls = self._check_v_args(rcounts, rdispls)
-        in_buf, out_buf = self._flat(input), self._flat(output)
-
-        def move(arrivals: list[_Arrival]) -> None:
-            datapath.all_to_all_v(
-                [a.inputs[0] for a in arrivals],
-                [a.outputs[0] for a in arrivals],
-                [a.extras["scounts"] for a in arrivals],
-                [a.extras["sdispls"] for a in arrivals],
-                [a.extras["rcounts"] for a in arrivals],
-                [a.extras["rdispls"] for a in arrivals],
-            )
-
-        nbytes = sum(scounts) * input.element_size()
-        return self._collective(
-            backend, OpFamily.ALLTOALL, nbytes, [in_buf], [out_buf], move,
-            meta=("all_to_allv", self.world_size, input.dtype.name),
-            async_op=async_op, vector=True, compressible=False,
-            tensors=(input, output),
-            extras={
-                "scounts": list(scounts),
-                "sdispls": list(sdispls),
-                "rcounts": list(rcounts),
-                "rdispls": list(rdispls),
-                "_elem_size": input.element_size(),
-            },
+        return self._post(
+            _ALL_TO_ALLV, backend,
+            (output, input, scounts, sdispls, rcounts, rdispls), async_op,
         )
 
     def barrier(self, backend: Optional[str] = None, async_op: bool = False) -> Optional[WorkHandle]:
-        """Block until every rank arrives (host-blocking on all backends)."""
+        """Block until every rank arrives (host-blocking on all backends).
+
+        ``backend=None`` picks the *first initialized* backend —
+        deterministic dict insertion order, i.e. the order of the
+        backend list every rank passed at construction — so SPMD
+        programs rendezvous on the same library without naming it.
+        """
         backend = backend or next(iter(self.backends))
-
-        def move(arrivals: list[_Arrival]) -> None:
-            pass
-
-        return self._collective(
-            backend, OpFamily.BARRIER, 0, [], [], move,
-            meta=("barrier",), async_op=async_op, force_host=True, compressible=False,
-        )
+        return self._post(_BARRIER, backend, (), async_op)
 
     # ------------------------------------------------------------------
     # point-to-point
@@ -949,41 +578,8 @@ class MCRCommunicator:
         return self.recv(backend, tensor, src, tag, async_op=True)
 
     # ------------------------------------------------------------------
-    # internals
+    # argument validation helpers (used by the prepare builders)
     # ------------------------------------------------------------------
-
-    def _backend(self, name: str) -> Backend:
-        # the common case is a canonical name; only alias/odd-case misses
-        # pay for normalization
-        backend = self.backends.get(name)
-        if backend is not None:
-            return backend
-        if name[:5].lower() == "hier:":
-            # composite targets are dispatch spellings, not backends;
-            # only the four decomposable collectives accept them
-            raise BackendError(
-                f"hierarchical target {name!r} is not valid for this "
-                "operation; hier:* supports all_reduce, bcast, all_gather "
-                "and all_to_all_single only"
-            )
-        canon = canonical_name(name)
-        try:
-            return self.backends[canon]
-        except KeyError:
-            raise BackendError(
-                f"backend {name!r} not initialized on this communicator; "
-                f"have {list(self.backends)}"
-            ) from None
-
-    def _flat(self, tensor: SimTensor) -> np.ndarray:
-        if not isinstance(tensor, SimTensor):
-            raise TypeError(f"expected SimTensor, got {type(tensor).__name__}")
-        if tensor.is_virtual:
-            # timing-only tensor: the buffer is never read or written (every
-            # data-plane touch is guarded by ``not timing_only``), so skip
-            # the contiguity/view work and hand back a shared placeholder
-            return _VIRTUAL_BUF
-        return tensor.contiguous().view_flat()
 
     def _check_root(self, root: int) -> None:
         if not 0 <= root < self.world_size:
@@ -1009,998 +605,3 @@ class MCRCommunicator:
                 f"displs length {len(displs)} != world size {self.world_size}"
             )
         return counts, displs
-
-    def _resolve_backend(self, name: str, family: OpFamily, nbytes: int) -> Backend:
-        """Resolve an explicit name or the ``"auto"`` tuned choice (§V-F)."""
-        if name != "auto":
-            return self._backend(name)
-        choice = None
-        if self.tuning_table is not None:
-            choice = self.tuning_table.lookup(family.value, self.world_size, nbytes)
-            if choice is not None:
-                canon = canonical_name(choice)
-                if canon not in self.backends or canon in self._quarantined:
-                    choice = None  # tuned for a backend we did not init
-                    # (or one quarantined by a permanent fault)
-        if choice is None:
-            choice = self.config.fallback_backend or next(iter(self.backends))
-        return self._backend(choice)
-
-    # -- hierarchical composite dispatch (hier:<intra>+<inter>) -----------
-
-    def _hier(self):
-        """The lazily built hierarchical executor (sub-groups derived
-        from ``SystemSpec.node_of`` on first use, cached here)."""
-        if self._hier_exec is None:
-            from repro.backends.hierarchical import HierarchicalExecutor
-
-            self._hier_exec = HierarchicalExecutor(self)
-        return self._hier_exec
-
-    def _table_has_hier(self, table: TuningTable) -> bool:
-        """Whether the tuning table contains any ``hier:*`` entry, memoized
-        per (table identity, generation) so hier-free auto dispatch pays
-        one tuple compare."""
-        probe = self._hier_table_probe
-        ident, gen = id(table), table.generation
-        if probe is not None and probe[0] == ident and probe[1] == gen:
-            return probe[2]
-        has = any(
-            choice[:5].lower() == "hier:"
-            for by_ws in table.entries.values()
-            for by_msg in by_ws.values()
-            for choice in by_msg.values()
-        )
-        self._hier_table_probe = (ident, gen, has)
-        return has
-
-    def _hier_target(self, name: str, family: OpFamily, nbytes: int):
-        """Resolve one dispatch to a hierarchical spec, or None for flat.
-
-        Explicit ``hier:*`` spellings must parse and have both
-        constituents initialized (errors otherwise, mirroring unknown
-        backend names).  ``"auto"`` consults the tuned table; a hier
-        entry that cannot run here — malformed, missing constituent, or
-        a constituent quarantined by a permanent fault — silently falls
-        back to flat resolution, matching ``_resolve_backend``'s
-        treatment of unavailable tuned choices.
-        """
-        if name[:5].lower() == "hier:":
-            from repro.backends.hierarchical import parse_hier
-
-            spec = parse_hier(name)
-            for part in (spec.intra, spec.inter):
-                if part not in self.backends:
-                    raise BackendError(
-                        f"hierarchical target {name!r} needs backend "
-                        f"{part!r}, which is not initialized on this "
-                        f"communicator; have {list(self.backends)}"
-                    )
-            return spec
-        if name != "auto":
-            return None
-        table = self._tuning_table
-        if table is None or not self._table_has_hier(table):
-            return None
-        choice = table.lookup(family.value, self.world_size, nbytes)
-        if choice is None or choice[:5].lower() != "hier:":
-            return None
-        from repro.backends.hierarchical import parse_hier
-
-        try:
-            spec = parse_hier(choice)
-        except BackendError:
-            return None
-        for part in (spec.intra, spec.inter):
-            if part not in self.backends or part in self._quarantined:
-                return None
-        return spec
-
-    # -- fault handling (retry / quarantine / failover) -------------------
-    #
-    # Every decision below is a deterministic function of per-scope op
-    # counters, so in an SPMD program all ranks of a group make identical
-    # choices and rendezvous keys stay matched even in degraded mode —
-    # the deadlock-freedom claim of §V-D extended to failures:
-    #
-    # * collectives count per (communicator, backend); every group rank
-    #   posts the same Nth collective, so transient retries and permanent
-    #   quarantines happen at the same logical op everywhere;
-    # * p2p counts per directed channel (backend, src, dst, tag); the
-    #   matched sender and receiver observe equal indices.  p2p never
-    #   triggers quarantine — third-party ranks could not observe it
-    #   symmetrically — it reroutes the single op instead.
-
-    def _record_fault(self, kind: str, backend_name: str, detail: str = "") -> None:
-        if self._fault_log is not None:
-            self._fault_log.log_event(
-                kind, self.ctx.rank, backend_name, self.ctx.now, detail
-            )
-
-    def _quarantine(self, backend: Backend, reason: str) -> None:
-        if backend.name in self._quarantined:
-            return
-        self._quarantined.add(backend.name)
-        backend.fail(reason)
-        # a quarantine changes dispatch for every subsequent op (auto
-        # resolution skips the backend, explicit dispatch reroutes), so
-        # compiled plans must recompute from the degraded state
-        self.invalidate_plans(f"quarantine({backend.name})")
-        self._record_fault("quarantine", backend.name, reason)
-        if self._retuner is not None:
-            # probation: the retuner re-probes the backend at matched op
-            # indexes and un-quarantines symmetrically on success
-            self._retuner.on_quarantine(backend.name)
-        # a backend the parent declares dead must not keep serving
-        # hierarchical phases; each phase communicator degrades (and
-        # fails over) independently.  Child-local quarantines do NOT
-        # propagate upward — a fault observed only inside one phase
-        # group is handled by that group's own failover.
-        for child in self._hier_children:
-            child_backend = child.backends.get(backend.name)
-            if child_backend is not None and backend.name not in child._quarantined:
-                child._quarantine(child_backend, f"parent: {reason}")
-        if len(self._quarantined) == len(self.backends):
-            raise BackendError(
-                f"all backends permanently failed: {sorted(self._quarantined)}"
-            )
-
-    def _unquarantine(self, backend: Backend, reason: str) -> None:
-        """Symmetric inverse of :meth:`_quarantine` (probation path).
-
-        Only the adaptive probation protocol calls this, at matched op
-        indexes on every rank (same agree-at-op discipline as the
-        quarantine itself), so the quarantine set stays symmetric.
-        Hierarchical phase children whose quarantine was inherited from
-        the parent recover with it; a child-local quarantine — a fault
-        observed only inside one phase group — stays put, mirroring the
-        asymmetry of the quarantine cascade.
-        """
-        if backend.name not in self._quarantined:
-            return
-        self._quarantined.discard(backend.name)
-        backend.recover(reason)
-        # recovery changes dispatch exactly like quarantine did: auto
-        # resolution may pick the backend again, explicit dispatch stops
-        # rerouting — compiled plans must recompute
-        self.invalidate_plans(f"unquarantine({backend.name})")
-        self._record_fault("unquarantine", backend.name, reason)
-        for child in self._hier_children:
-            child_backend = child.backends.get(backend.name)
-            if (
-                child_backend is not None
-                and backend.name in child._quarantined
-                and (child_backend.failure_reason or "").startswith("parent: ")
-            ):
-                child._unquarantine(child_backend, f"parent: {reason}")
-
-    def _failover_target(
-        self, family: OpFamily, nbytes: int, exclude: frozenset = frozenset()
-    ) -> Backend:
-        """Deterministic survivor choice: tuning table, then the
-        configured fallback, then init order (§V-F dispatch, restricted
-        to live backends)."""
-        survivors = [
-            n
-            for n in self.backends
-            if n not in self._quarantined and n not in exclude
-        ]
-        if not survivors:
-            raise BackendError(
-                f"no surviving backend for {family.value}: "
-                f"quarantined {sorted(self._quarantined)}"
-            )
-        choice = None
-        if self.tuning_table is not None:
-            tuned = self.tuning_table.lookup(family.value, self.world_size, nbytes)
-            if tuned is not None and canonical_name(tuned) in survivors:
-                choice = canonical_name(tuned)
-        if choice is None:
-            fb = self.config.fallback_backend
-            if fb is not None and canonical_name(fb) in survivors:
-                choice = canonical_name(fb)
-        if choice is None:
-            choice = survivors[0]
-        return self.backends[choice]
-
-    def _admit_backend(
-        self,
-        backend: Backend,
-        family: OpFamily,
-        nbytes: int,
-        p2p_channel: Optional[tuple] = None,
-    ) -> Backend:
-        """Fault gate for one dispatch: consult the injector, retry
-        transient faults with exponential backoff, quarantine and fail
-        over on permanent ones.  Returns the backend that actually runs
-        the operation."""
-        inj = self._injector
-        ctx = self.ctx
-        cfg = self.config
-        hops = 0
-        while True:
-            if backend.name in self._quarantined:
-                old = backend.name
-                backend = self._failover_target(family, nbytes)
-                self._record_fault("failover", old, f"-> {backend.name}")
-                continue
-            if inj is None:
-                return backend
-            if hops > 3 * len(self.backends):  # pragma: no cover - safety valve
-                raise BackendError(
-                    f"fault failover did not converge for {family.value}"
-                )
-            scope = (
-                ("p2p", backend.name, *p2p_channel)
-                if p2p_channel is not None
-                else ("coll", backend.name)
-            )
-            idx = self._fault_counters.get(scope, 0) + 1
-            self._fault_counters[scope] = idx
-            fault = inj.backend_fault(
-                self.comm_id, backend.name, idx, p2p=p2p_channel is not None,
-                rank=ctx.rank, now=ctx.now,
-            )
-            if fault is None:
-                return backend
-            if fault.kind == "transient":
-                attempts = min(fault.fail_attempts, cfg.comm_max_retries)
-                for attempt in range(attempts):
-                    self._record_fault(
-                        "retry",
-                        backend.name,
-                        f"op {idx} attempt {attempt + 1}/{cfg.comm_max_retries}",
-                    )
-                    ctx.sleep(
-                        cfg.retry_backoff_us * (2.0 ** attempt),
-                        reason=f"retry({backend.name})",
-                    )
-                if fault.fail_attempts <= cfg.comm_max_retries:
-                    return backend  # cleared within the retry budget
-                if p2p_channel is None:
-                    # a collective that cannot clear its transient fault
-                    # within the retry budget is treated as a permanent
-                    # library failure (symmetric: same decision everywhere)
-                    self._quarantine(
-                        backend, f"transient fault persisted past {attempts} retries"
-                    )
-                    continue
-                # p2p: reroute this one op, no global quarantine
-                old = backend.name
-                backend = self._failover_target(
-                    family, nbytes, exclude=frozenset((backend.name,))
-                )
-                self._record_fault("failover", old, f"-> {backend.name} (p2p reroute)")
-                hops += 1
-                continue
-            # permanent
-            self._quarantine(backend, f"permanent fault at op {idx}")
-            # loop re-enters the quarantined branch and fails over
-
-    def _op_label(self, op, backend_name: str) -> tuple[str, str]:
-        """Cached ``(label, dispatch reason)`` for one (op, backend) pair."""
-        key = (op, backend_name)
-        cached = self._op_labels.get(key)
-        if cached is None:
-            label = f"{op}:{backend_name}"
-            if self._phase_tag:
-                # phase communicators mark their intervals so chrome
-                # traces show the intra/inter segments of a composite
-                label = f"{label}@{self._phase_tag}"
-            cached = self._op_labels[key] = (label, f"dispatch({label})")
-        return cached
-
-    def _next_seq(self, backend_name: str) -> int:
-        # rendezvous sequence numbers are keyed per backend only:
-        # collective calls are communicator-ordered within a library
-        # regardless of op family, exactly like NCCL/MPI, so mixed-family
-        # programs stay matched as long as every rank posts the same
-        # op order (tests/test_plan_cache.py pins this down)
-        self._seq[backend_name] += 1
-        return self._seq[backend_name]
-
-    def _dispatch_cost(self, backend: Backend) -> float:
-        return self.config.dispatch_overhead_us + backend.call_overhead_us()
-
-    def _plan_valid(self, plan: CommPlan) -> bool:
-        if plan.epoch != self._plan_epoch:
-            return False  # pragma: no cover - epoch bumps clear the dict
-        if plan.table_generation >= 0:
-            table = self._tuning_table
-            if table is None or table.generation != plan.table_generation:
-                self._plan_invalidations += 1
-                return False
-        return True
-
-    def _compile_plan(
-        self,
-        backend_name: str,
-        family: OpFamily,
-        nbytes: int,
-        meta: tuple,
-        vector: bool,
-        force_host: bool,
-        compressible: bool,
-        timing_only: bool,
-    ) -> CommPlan:
-        """Derive one dispatch plan from a call signature.
-
-        Pure with respect to simulated time — resolution, label
-        interning, codec arithmetic, and stream placement never advance
-        the clock — and arithmetic-identical to the historical per-call
-        derivation, so cached and uncached dispatch cannot diverge.
-        """
-        backend = self._resolve_backend(backend_name, family, nbytes)
-        label, dispatch_reason = self._op_label(family, backend.name)
-        # compression (§V-E): shrink the wire size, model codec kernels,
-        # and apply the real quantization error to the data
-        codec = None
-        wire_bytes = nbytes
-        codec_us = 0.0
-        if (
-            self._codec is not None
-            and compressible
-            and family.value in self.config.compression.families
-        ):
-            codec = self._codec
-            wire_bytes = codec.compressed_nbytes(nbytes)
-            codec_us = codec.codec_time_us(nbytes)
-        stream_kind = self.sync.uses_streams(backend) and not force_host
-        if self.config.synchronization == "naive":
-            stream_kind = not force_host  # posted to the default stream
-        table_generation = -1
-        if backend_name == "auto" and self._tuning_table is not None:
-            table_generation = self._tuning_table.generation
-        return CommPlan(
-            epoch=self._plan_epoch,
-            table_generation=table_generation,
-            backend=backend,
-            resolved_name=backend.name,
-            label=label,
-            dispatch_reason=dispatch_reason,
-            dispatch_kind="auto" if backend_name == "auto" else "explicit",
-            dispatch_cost_us=self._dispatch_cost(backend),
-            codec=codec,
-            wire_bytes=wire_bytes,
-            codec_us=codec_us,
-            stream_kind=stream_kind,
-            meta_tagged=(*meta, "virtual" if timing_only else "real"),
-        )
-
-    # -- persistent collectives (ext.persistent, §V-E) ---------------------
-
-    def _capture_collective(self, post, backend_name: str, *args, **kwargs) -> tuple:
-        """Init-time negotiation for a persistent collective: run the
-        public op with ``_collective`` intercepted so argument validation
-        happens once and the exact dispatch invocation is captured for
-        replay.  Nothing is posted and the clock does not move."""
-        captured: dict = {}
-
-        def recorder(*a, **kw):
-            captured["args"] = a
-            captured["kwargs"] = kw
-            return None
-
-        self._collective = recorder  # shadow the bound method
-        retuner = self._retuner
-        was_quiet = retuner.quiet if retuner is not None else False
-        if retuner is not None:
-            # capture posts nothing and must not count as an adaptive op
-            retuner.quiet = True
-        try:
-            post(backend_name, *args, async_op=True, **kwargs)
-        finally:
-            del self._collective
-            if retuner is not None:
-                retuner.quiet = was_quiet
-        return captured["args"], captured["kwargs"]
-
-    def _plan_for_call(self, args: tuple, kwargs: dict) -> CommPlan:
-        """Compile (or fetch) the plan for a captured ``_collective``
-        invocation — the pin a :class:`~repro.ext.persistent.
-        PersistentCollective` holds."""
-        backend_name, family, nbytes = args[0], args[1], args[2]
-        meta = kwargs["meta"]
-        vector = kwargs.get("vector", False)
-        force_host = kwargs.get("force_host", False)
-        compressible = kwargs.get("compressible", True)
-        timing_only = any(
-            t is not None and t.is_virtual for t in kwargs.get("tensors", ())
-        )
-        if not self._plan_cache_on:
-            return self._compile_plan(
-                backend_name, family, nbytes, meta,
-                vector, force_host, compressible, timing_only,
-            )
-        pkey = (
-            backend_name, family, meta, nbytes,
-            vector, force_host, compressible, timing_only,
-        )
-        plan = self._plans.get(pkey)
-        if plan is None or not self._plan_valid(plan):
-            plan = self._compile_plan(
-                backend_name, family, nbytes, meta,
-                vector, force_host, compressible, timing_only,
-            )
-            self._plans[pkey] = plan
-        return plan
-
-    def _flush_plan_stats(self) -> None:
-        """Report plan-cache effectiveness to the observability registry
-        as aggregated events — one ``kind="plan"`` ObsEvent per outcome
-        with the count carried in ``nbytes``, mirroring the sweep-cache
-        reporting convention (zero events on the per-op hot path)."""
-        obs = self._obs
-        if obs is None:
-            return
-        from repro.obs.metrics import ObsEvent
-
-        now = self.ctx.now
-        for detail, count in (
-            ("hit", self._plan_hits),
-            ("miss", self._plan_misses),
-            ("invalidate", self._plan_invalidations),
-        ):
-            if count:
-                obs.observe(
-                    ObsEvent(
-                        kind="plan",
-                        rank=self.ctx.rank,
-                        stream="host",
-                        backend="",
-                        family="dispatch_plan",
-                        nbytes=count,
-                        step=-1,
-                        start=now,
-                        end=now,
-                        detail=detail,
-                    )
-                )
-
-    def _collective(
-        self,
-        backend_name: str,
-        family: OpFamily,
-        nbytes: int,
-        inputs: list[np.ndarray],
-        outputs: list[np.ndarray],
-        move: Callable[[list[_Arrival]], None],
-        meta: tuple,
-        async_op: bool,
-        vector: bool = False,
-        force_host: bool = False,
-        compressible: bool = True,
-        extras: Optional[dict] = None,
-        tensors: tuple = (),
-        dispatch_scale: float = 1.0,
-    ) -> Optional[WorkHandle]:
-        # virtual (timing-only) tensors: charge full communication time
-        # but skip the data plane (workload modeling; see SimTensor docs)
-        timing_only = False
-        for t in tensors:
-            if t is not None and t.is_virtual:
-                timing_only = True
-                break
-        if self._finalized:
-            raise MCRError("communicator already finalized")
-        ctx = self.ctx
-
-        # adaptive hook for families that never route hierarchically
-        # (the hier-capable entries already primed before resolution);
-        # must precede the plan lookup so pending table edits apply to
-        # this very op.  A probation canary (retuner.quiet) posts from
-        # inside before_op and must not count as a new adaptive op.
-        retuner = self._retuner
-        if retuner is not None:
-            if self._adapt_primed:
-                self._adapt_primed = False
-            elif not retuner.quiet:
-                retuner.before_op(family, nbytes)
-
-        # plan lookup: steady state pays one dict probe; first post (or
-        # first post after an epoch bump) compiles.  The cache-off path
-        # compiles a throwaway plan through the same code, which is what
-        # keeps cached and uncached dispatch identical by construction.
-        if self._plan_cache_on:
-            pkey = (
-                backend_name, family, meta, nbytes,
-                vector, force_host, compressible, timing_only,
-            )
-            plan = self._plans.get(pkey)
-            if plan is not None and self._plan_valid(plan):
-                self._plan_hits += 1
-            else:
-                plan = self._compile_plan(
-                    backend_name, family, nbytes, meta,
-                    vector, force_host, compressible, timing_only,
-                )
-                self._plans[pkey] = plan
-                self._plan_misses += 1
-        else:
-            plan = self._compile_plan(
-                backend_name, family, nbytes, meta,
-                vector, force_host, compressible, timing_only,
-            )
-
-        backend = plan.backend
-        label = plan.label
-        dispatch_reason = plan.dispatch_reason
-        dispatch_cost = plan.dispatch_cost_us
-        stream_kind = plan.stream_kind
-        if self._fault_gate or self._quarantined:
-            # the fault gate runs per call even on a plan hit: injector
-            # op counters must advance exactly as in the uncached path,
-            # and its retries/reroutes are call-local, never plan state
-            admitted = self._admit_backend(backend, family, nbytes)
-            if admitted is not backend:
-                backend = admitted
-                label, dispatch_reason = self._op_label(family, backend.name)
-                dispatch_cost = self._dispatch_cost(backend)
-                stream_kind = self.sync.uses_streams(backend) and not force_host
-                if self.config.synchronization == "naive":
-                    stream_kind = not force_host
-        dispatch = (
-            self._dispatch_kind(backend_name, plan.resolved_name, backend.name)
-            if self.logger is not None
-            else "explicit"
-        )
-
-        # host dispatch: thin Python layer + backend call overhead (C3);
-        # persistent collectives replay at a discounted scale (§V-E)
-        if dispatch_scale != 1.0:
-            dispatch_cost *= dispatch_scale
-        ctx.engine.sleep(dispatch_cost, dispatch_reason)
-
-        codec = plan.codec
-        wire_bytes = plan.wire_bytes
-        codec_us = plan.codec_us
-
-        if self.world_size == 1:
-            if not timing_only:
-                for a_in, a_out in zip(inputs, outputs):
-                    if a_in is not a_out:
-                        a_out[:] = a_in
-            handle = CompletedHandle(ctx, backend.name, label)
-            self._log(
-                family, backend, nbytes, ctx.now, ctx.now, async_op,
-                dispatch=dispatch, stream="host",
-            )
-            if async_op:
-                return handle
-            return None
-
-    # rendezvous ---------------------------------------------------
-
-        seq = self._next_seq(backend.name)
-        key = (self.comm_id, backend.name, seq)
-        rdv_table = self._shared["rdv"]
-        meta = plan.meta_tagged
-        rdv = rdv_table.get(key)
-        if rdv is None:
-            rdv = _Rendezvous(
-                key, self.world_size, family, meta, ctx.new_flag(label), stream_kind
-            )
-            rdv_table[key] = rdv
-        if rdv.meta != meta or rdv.family is not family:
-            raise ValidationError(
-                f"collective mismatch at {key}: rank {ctx.rank} posted "
-                f"{family}/{meta}, expected {rdv.family}/{rdv.meta}"
-            )
-        if ctx.rank in rdv.arrivals:
-            raise ValidationError(f"rank {ctx.rank} arrived twice at {key}")
-
-        arrival = _Arrival(
-            rank=ctx.rank,
-            host_time=ctx.now,
-            inputs=inputs,
-            outputs=outputs,
-            extras=extras or {},
-        )
-        rdv.arrivals[ctx.rank] = arrival
-
-        member_node = None
-        stream_label = "host"
-        if stream_kind:
-            self.sync.pre_post(backend)
-            # pre_post may advance the host clock (naive-mode default
-            # stream sync); the arrival timestamp must reflect when the
-            # op was actually posted or flapping-link windows skew
-            arrival.host_time = ctx.now
-            stream = self.sync.pick_stream(backend, wire_bytes)
-            stream_label = stream.name
-            producer = ctx.gpu.default_stream.last
-            member_node = stream.enqueue_collective_member(
-                rdv.group,
-                deps=[producer] if producer is not None else [],
-                label=label,
-                category="comm",
-            )
-        else:
-            self.sync.pre_post(backend)
-            arrival.host_time = ctx.now  # pre_post may have advanced time
-
-        last = len(rdv.arrivals) == self.world_size and not rdv.claimed
-        if last:
-            rdv.claimed = True
-            if vector and family is OpFamily.ALLTOALL:
-                # an imbalanced alltoallv runs at the pace of its heaviest
-                # sender or receiver (the straggler destination), not this
-                # rank's own volume
-                wire_bytes = max(wire_bytes, self._alltoallv_critical_bytes(rdv))
-            duration = backend.collective_cost_us(
-                family,
-                wire_bytes,
-                self.world_size,
-                self._comm_path,
-                vector=vector,
-                nonblocking=async_op,
-            )
-            duration *= 1.0 + self.config.dispatch_fraction
-            if self._link_faults:
-                # degraded/flapping fabric window (repro.sim.faults):
-                # decided once, by the resolving rank, at the transfer's
-                # start time — per-rank clocks cannot split the decision
-                duration *= ctx.system.link_time_factor(
-                    max(a.host_time for a in rdv.arrivals.values()),
-                    backend.name,
-                )
-            duration += codec_us
-            if self.config.force_host_staging:
-                # Listing-2 style device->host->device copies around the op
-                duration += 2.0 * ctx.system.host_staging_us(wire_bytes)
-            ordered = [rdv.arrivals[r] for r in self.group_ranks]
-
-            def on_resolve() -> None:
-                if not timing_only:
-                    if codec is not None:
-                        for a in ordered:
-                            for buf in a.inputs:
-                                codec.apply_quantization_error(buf)
-                    move(ordered)
-                rdv.resolved = True
-
-            del rdv_table[key]
-            # Bandwidth-bound ops serialize per wire lane (§V-C:
-            # "concurrent large-message operations are bandwidth-bound and
-            # show no benefit"); latency-bound small ops overlap freely.
-            # Two lanes model the two injection paths of a GPU node:
-            # GPU-initiated (NCCL-family) and host-initiated RDMA (MPI) —
-            # which is also why mixing more than one backend of the same
-            # kind buys nothing (paper §V-D footnote 4).
-            is_large = wire_bytes >= self.config.large_message_threshold
-            lane = (
-                "wire:stream" if backend.properties.stream_aware else "wire:host"
-            )
-            interference = getattr(ctx.system, "cross_path_interference", 0.6)
-            rdv.duration = duration  # before fire: deferred log emits read it
-            if stream_kind:
-                rdv.group.duration = duration
-                rdv.group.on_resolve = on_resolve
-                if is_large and family is not OpFamily.BARRIER:
-                    rdv.group.channel_store = self._channel
-                    rdv.group.channel_key = lane
-                    rdv.group.interference = interference
-                resolve(rdv.group, ctx.engine)
-            else:
-                from repro.sim.graph import apply_wire_lane
-
-                channel = self._channel
-                start = max(a.host_time for a in ordered)
-                if is_large:
-                    start = apply_wire_lane(
-                        channel, lane, start, duration, interference
-                    )
-                end = start + duration
-                on_resolve()
-                self._trace_host_collective(ordered, label, start, end)
-                rdv.flag.fire(end)
-        elif member_node is not None and rdv.claimed:
-            # the pre-post host sync separates arrival registration from
-            # member enqueue, so the claiming rank can wake first and
-            # resolve() an incomplete group (a silent no-op).  The rank
-            # whose member completes the group must retry, or every host
-            # parks on a flag nobody will fire.
-            group = rdv.group
-            if group is not None and group.complete and not group._resolved:
-                resolve(group, ctx.engine)
-
-        # wait() semantics: stream-aware libraries synchronize through
-        # CUDA events (host never blocks); MPI libraries complete through
-        # MPI_Wait on the host even when their traffic rides MCR-managed
-        # streams (mcr-managed mode only changes *where* the transfer
-        # overlaps, not how completion is observed).
-        stream_semantics = (
-            stream_kind
-            and backend.properties.stream_aware
-            and self.config.synchronization != "naive"
-        )
-        self._log_on_flag(
-            family, backend, nbytes, rdv.flag, async_op, rdv,
-            dispatch=dispatch, stream=stream_label,
-        )
-        if retuner is not None:
-            # observation rides the rendezvous flag: fire() runs every
-            # rank's callback at one instant with one shared duration,
-            # keeping the per-rank observation streams identical
-            retuner.attach(family, backend.name, nbytes, rdv, backend_name == "auto")
-        deadline_us = self.config.op_deadline_us
-        if async_op:
-            handle = WorkHandle(
-                ctx, backend.name, rdv.flag, member_node,
-                stream_semantics=stream_semantics, label=label,
-                deadline_us=deadline_us,
-                timeout_info=(
-                    self._timeout_info(label, rdv) if deadline_us is not None else None
-                ),
-            )
-            self._outstanding[backend.name].append(handle)
-            return handle
-        # synchronous op: apply wait() semantics inline, no handle object
-        if stream_semantics and member_node is not None:
-            ctx.gpu.default_stream._gates.append(member_node)
-        else:
-            self._await_flag(rdv.flag, label, rdv, deadline_us)
-        if self.config.synchronization == "naive":
-            # naive scheme additionally host-blocks (Fig. 4a)
-            ctx.engine.wait_flag(rdv.flag, reason=label)
-        return None
-
-    def _await_flag(
-        self,
-        flag: Flag,
-        label: str,
-        rdv: Optional[_Rendezvous],
-        deadline_us: Optional[float],
-    ) -> None:
-        """Host-block on a completion flag, honoring the per-op deadline."""
-        ctx = self.ctx
-        if deadline_us is None:
-            if flag.ready_time is None:
-                ctx.engine.wait_flag(flag, reason=f"wait({label})")
-            else:
-                ctx.engine.wait_flag(flag, reason=label)
-            return
-        if not ctx.engine.wait_flag_deadline(
-            flag, ctx.now + deadline_us, reason=f"wait({label})"
-        ):
-            detail = self._timeout_info(label, rdv)()
-            raise CommTimeoutError(
-                f"{label} exceeded the {deadline_us:.0f}us deadline on rank "
-                f"{ctx.rank}: {detail}",
-                label=label,
-                rank=ctx.rank,
-                deadline_us=deadline_us,
-                detail=detail,
-            )
-
-    def _timeout_info(self, label: str, rdv: Optional[_Rendezvous]):
-        """Deferred per-rank diagnostics for a CommTimeoutError: evaluated
-        at timeout time, when the rendezvous shows who never arrived."""
-
-        def info() -> str:
-            if rdv is None:
-                return "operation still pending"
-            arrived = sorted(rdv.arrivals)
-            missing = [r for r in self.group_ranks if r not in rdv.arrivals]
-            if missing:
-                posted = ", ".join(
-                    f"rank {r}@{rdv.arrivals[r].host_time:.1f}us" for r in arrived
-                )
-                return f"ranks {missing} never posted {label} (arrived: {posted})"
-            return "all ranks arrived; transfer still in flight"
-
-        return info
-
-    def _alltoallv_critical_bytes(self, rdv: _Rendezvous) -> int:
-        """Heaviest per-rank send or receive volume of an alltoallv."""
-        arrivals = [rdv.arrivals[r] for r in self.group_ranks if r in rdv.arrivals]
-        if not arrivals or "scounts" not in arrivals[0].extras:
-            return 0
-        elem = arrivals[0].extras.get("_elem_size", 4)
-        send_totals = [sum(a.extras["scounts"]) for a in arrivals]
-        p = len(arrivals)
-        recv_totals = [
-            sum(a.extras["scounts"][j] for a in arrivals) for j in range(p)
-        ]
-        return max(max(send_totals), max(recv_totals)) * elem
-
-    def _trace_host_collective(
-        self, ordered: list[_Arrival], label: str, start: float, end: float
-    ) -> None:
-        tracer = self.ctx.gpu.tracer
-        if tracer is None:
-            return
-        for a in ordered:
-            tracer.record(
-                rank=a.rank, stream="mpi-host", label=label, category="comm",
-                start=start, end=end,
-            )
-
-    def _p2p(
-        self,
-        backend_name: str,
-        tensor: SimTensor,
-        peer: int,
-        tag: int,
-        is_send: bool,
-        async_op: bool,
-    ) -> Optional[WorkHandle]:
-        ctx = self.ctx
-        if not 0 <= peer < self.world_size:
-            raise ValidationError(f"peer {peer} out of range")
-        peer_global = self.group_ranks[peer]
-        if peer_global == ctx.rank:
-            raise ValidationError("p2p with self is not supported")
-        backend = self._resolve_backend(backend_name, OpFamily.P2P, tensor.nbytes())
-        resolved_name = backend.name
-        src, dst = (ctx.rank, peer_global) if is_send else (peer_global, ctx.rank)
-        if self._fault_gate or self._quarantined:
-            backend = self._admit_backend(
-                backend, OpFamily.P2P, tensor.nbytes(), p2p_channel=(src, dst, tag)
-            )
-        label, dispatch_reason = self._op_label(
-            "send" if is_send else "recv", backend.name
-        )
-        ctx.sleep(self._dispatch_cost(backend), reason=dispatch_reason)
-
-        chan = self._shared["p2p"][(backend.name, src, dst, tag)]
-        mine, theirs = ("sends", "recvs") if is_send else ("recvs", "sends")
-        buf = self._flat(tensor)
-
-        if chan[theirs]:
-            other_buf, other_time, flag, other_virtual = chan[theirs].popleft()
-            timing_only = tensor.is_virtual or other_virtual
-            send_buf, recv_buf = (buf, other_buf) if is_send else (other_buf, buf)
-            if not timing_only and send_buf.size != recv_buf.size:
-                raise ValidationError(
-                    f"p2p size mismatch: send {send_buf.size} vs recv {recv_buf.size}"
-                )
-            cost = backend.p2p_cost_us(
-                tensor.nbytes(), ctx.system.same_node(src, dst)
-            ) * (1.0 + self.config.dispatch_fraction)
-            start = max(ctx.now, other_time)
-            if self._link_faults:
-                cost *= ctx.system.link_time_factor(start, backend.name)
-            end = start + cost
-            if not timing_only:
-                recv_buf[:] = send_buf
-            if not flag.is_set:  # eager sends fire their flag at post time
-                flag.fire(end)
-            if not is_send:
-                # the receiver's own completion is the transfer end
-                my_flag = ctx.new_flag(label)
-                my_flag.fire(end)
-                flag = my_flag
-            if self.logger is not None:
-                # one record per endpoint (the queued peer cannot know the
-                # transfer duration, so the matching side logs for both)
-                dispatch = self._dispatch_kind(
-                    backend_name, resolved_name, backend.name
-                )
-                for endpoint in (ctx.rank, peer):
-                    self.logger.log(
-                        rank=endpoint,
-                        family=str(OpFamily.P2P),
-                        backend=backend.name,
-                        nbytes=tensor.nbytes(),
-                        start=end - cost,
-                        end=end,
-                        async_op=async_op,
-                        step=self._current_step(endpoint),
-                        dispatch=dispatch,
-                        stream="p2p",
-                    )
-            handle = WorkHandle(
-                ctx, backend.name, flag, None, False, label,
-                deadline_us=self.config.op_deadline_us,
-            )
-        else:
-            flag = ctx.new_flag(label)
-            if is_send and tensor.nbytes() <= self.config.eager_threshold:
-                # eager protocol: buffer the payload so the sender can
-                # return (and reuse its tensor) before the match
-                if not tensor.is_virtual:
-                    buf = buf.copy()
-                flag.fire(ctx.now)
-            chan[mine].append((buf, ctx.now, flag, tensor.is_virtual))
-            handle = WorkHandle(
-                ctx, backend.name, flag, None, False, label,
-                deadline_us=self.config.op_deadline_us,
-            )
-
-        if async_op:
-            self._outstanding[backend.name].append(handle)
-            return handle
-        handle.synchronize()
-        return None
-
-    # -- logging -----------------------------------------------------------
-
-    @staticmethod
-    def _dispatch_kind(requested: str, resolved_name: str, actual_name: str) -> str:
-        """Attribution tag for one dispatch decision (ISSUE 4): how did
-        this op end up on ``actual_name``?"""
-        if actual_name != resolved_name:
-            return "reroute"  # fault gate failed over / rerouted
-        return "auto" if requested == "auto" else "explicit"
-
-    def _current_step(self, rank: int) -> int:
-        obs = self._obs
-        return obs.current_step(rank) if obs is not None else -1
-
-    def _log(
-        self,
-        family: OpFamily,
-        backend: Backend,
-        nbytes: int,
-        start: float,
-        end: float,
-        async_op: bool,
-        dispatch: str = "explicit",
-        stream: str = "",
-    ) -> None:
-        if self.logger is not None:
-            self.logger.log(
-                rank=self.ctx.rank,
-                family=family.value,
-                backend=backend.name,
-                nbytes=nbytes,
-                start=start,
-                end=end,
-                async_op=async_op,
-                step=self._current_step(self.ctx.rank),
-                dispatch=dispatch,
-                stream=stream,
-                phase=self._phase_tag,
-            )
-
-    def _log_on_flag(
-        self,
-        family: OpFamily,
-        backend: Backend,
-        nbytes: int,
-        flag: Flag,
-        async_op: bool,
-        rdv: Optional[_Rendezvous] = None,
-        dispatch: str = "explicit",
-        stream: str = "",
-    ) -> None:
-        """Log once the completion time is known (flag fired).
-
-        Records the *transfer* interval (completion minus duration), not
-        post-to-completion — queueing behind other traffic is not
-        communication time (it would double-count in the breakdowns).
-        The training step is captured at *post* time: a non-blocking op
-        completing during step N+1 still belongs to the step that issued
-        it.
-        """
-        if self.logger is None:
-            return
-        logger = self.logger
-        rank = self.ctx.rank
-        post_time = self.ctx.now
-        step = self._current_step(rank)
-        phase = self._phase_tag
-
-        def emit() -> None:
-            end = flag.ready_time
-            duration = rdv.duration if rdv is not None and rdv.duration else None
-            start = end - duration if duration is not None else post_time
-            logger.log(
-                rank=rank,
-                family=family.value,
-                backend=backend.name,
-                nbytes=nbytes,
-                start=start,
-                end=end,
-                async_op=async_op,
-                step=step,
-                dispatch=dispatch,
-                stream=stream,
-                phase=phase,
-            )
-
-        if flag.is_set:
-            emit()
-        else:
-            logger.defer(flag, emit)

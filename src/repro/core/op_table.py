@@ -1,0 +1,438 @@
+"""The collective op table: one :class:`CollectiveSpec` row per public
+collective of the paper's Listing 1.
+
+Part of the op-surface layer (``docs/INTERNALS.md`` §15), split out of
+:mod:`repro.core.comm` so the declarative table — op family, argument
+validation/meta builder (``prepare``), datapath mover, hierarchical
+capability, and the ``force_host``/``compressible``/``vector`` flags —
+reads as data.  Adding an op family is one ``prepare`` builder plus one
+table row here; the shared pre-dispatch hook chain and every dispatch/
+execution feature (plan cache, fault failover, adaptive accounting)
+apply automatically.
+
+Layering: this module may import the execution layer (for the
+:class:`~repro.core.rendezvous.Arrival` type the movers receive) but
+never :mod:`repro.core.comm` or :mod:`repro.core.dispatch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.backends import datapath
+from repro.backends.ops import OpFamily, ReduceOp
+from repro.core.exceptions import ValidationError
+from repro.core.rendezvous import Arrival
+from repro.tensor import SimTensor
+
+@dataclass(slots=True)
+class _Prepared:
+    """One validated collective call, ready for the dispatch layer:
+    everything a :class:`CollectiveSpec`'s ``prepare`` derives from the
+    public arguments."""
+
+    nbytes: int
+    inputs: list[np.ndarray]
+    outputs: list[np.ndarray]
+    move: Callable[[list[Arrival]], None]
+    meta: tuple
+    tensors: tuple = ()
+    extras: Optional[dict] = None
+
+
+@dataclass(frozen=True)
+class CollectiveSpec:
+    """Declarative description of one public collective.
+
+    Adding an op family is one table row plus a ``prepare`` builder —
+    validation, meta layout, and the datapath mover in one place — and
+    the shared pre-dispatch hook chain applies automatically; no other
+    layer changes.
+    """
+
+    name: str
+    family: OpFamily
+    #: ``prepare(comm, *args) -> _Prepared``: validate the public
+    #: arguments and build buffers, rendezvous meta, and the mover
+    prepare: Callable[..., _Prepared]
+    #: method name on the HierarchicalExecutor when the family is
+    #: hierarchically decomposable (hier:<intra>+<inter>); None = flat only
+    hier_op: Optional[str] = None
+    compressible: bool = True
+    force_host: bool = False
+    vector: bool = False
+
+
+# ---------------------------------------------------------------------------
+# per-op prepare builders (validation + meta + datapath mover)
+# ---------------------------------------------------------------------------
+
+
+def _prep_all_reduce(comm, tensor: SimTensor, op: ReduceOp) -> _Prepared:
+    buf = comm._flat(tensor)
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.all_reduce([a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals], op)
+
+    return _Prepared(
+        tensor.nbytes(), [buf], [buf], move,
+        meta=("allreduce", tensor.numel(), tensor.dtype.name, op.value),
+        tensors=(tensor,),
+    )
+
+
+def _prep_reduce(comm, tensor: SimTensor, root: int, op: ReduceOp) -> _Prepared:
+    comm._check_root(root)
+    buf = comm._flat(tensor)
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.reduce([a.inputs[0] for a in arrivals], arrivals[root].outputs[0], op)
+
+    return _Prepared(
+        tensor.nbytes(), [buf], [buf], move,
+        meta=("reduce", tensor.numel(), tensor.dtype.name, op.value, root),
+        tensors=(tensor,),
+    )
+
+
+def _prep_bcast(comm, tensor: SimTensor, root: int) -> _Prepared:
+    comm._check_root(root)
+    buf = comm._flat(tensor)
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.broadcast(arrivals[root].inputs[0], [a.outputs[0] for a in arrivals])
+
+    return _Prepared(
+        tensor.nbytes(), [buf], [buf], move,
+        meta=("bcast", tensor.numel(), tensor.dtype.name, root),
+        tensors=(tensor,),
+    )
+
+
+def _prep_all_gather(comm, output: SimTensor, input: SimTensor) -> _Prepared:
+    in_buf, out_buf = comm._flat(input), comm._flat(output)
+    if output.numel() != input.numel() * comm.world_size:
+        raise ValidationError(
+            f"all_gather: output numel {output.numel()} != "
+            f"{comm.world_size} * {input.numel()}"
+        )
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.all_gather([a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals])
+
+    return _Prepared(
+        input.nbytes(), [in_buf], [out_buf], move,
+        meta=("all_gather", input.numel(), input.dtype.name),
+        tensors=(input, output),
+    )
+
+
+def _prep_reduce_scatter(
+    comm, output: SimTensor, input: SimTensor, op: ReduceOp
+) -> _Prepared:
+    in_buf, out_buf = comm._flat(input), comm._flat(output)
+    if input.numel() != output.numel() * comm.world_size:
+        raise ValidationError(
+            f"reduce_scatter: input numel {input.numel()} != "
+            f"{comm.world_size} * {output.numel()}"
+        )
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.reduce_scatter(
+            [a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals], op
+        )
+
+    return _Prepared(
+        input.nbytes(), [in_buf], [out_buf], move,
+        meta=("reduce_scatter", input.numel(), input.dtype.name, op.value),
+        tensors=(input, output),
+    )
+
+
+def _prep_all_to_all_single(comm, output: SimTensor, input: SimTensor) -> _Prepared:
+    in_buf, out_buf = comm._flat(input), comm._flat(output)
+    if input.numel() != output.numel():
+        raise ValidationError("all_to_all_single: input/output numel differ")
+    if input.numel() % comm.world_size != 0:
+        raise ValidationError(
+            f"all_to_all_single: numel {input.numel()} not divisible by "
+            f"world size {comm.world_size}"
+        )
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.all_to_all_single(
+            [a.inputs[0] for a in arrivals], [a.outputs[0] for a in arrivals]
+        )
+
+    return _Prepared(
+        input.nbytes(), [in_buf], [out_buf], move,
+        meta=("all_to_all_single", input.numel(), input.dtype.name),
+        tensors=(input, output),
+    )
+
+
+def _prep_all_to_all(
+    comm, output: Sequence[SimTensor], input: Sequence[SimTensor]
+) -> _Prepared:
+    if len(input) != comm.world_size or len(output) != comm.world_size:
+        raise ValidationError(
+            f"all_to_all: need {comm.world_size} tensors per list, got "
+            f"{len(input)}/{len(output)}"
+        )
+    in_bufs = [comm._flat(t) for t in input]
+    out_bufs = [comm._flat(t) for t in output]
+    nbytes = sum(t.nbytes() for t in input)
+
+    def move(arrivals: list[Arrival]) -> None:
+        p = len(arrivals)
+        for i in range(p):
+            for j in range(p):
+                src = arrivals[i].inputs[j]
+                dst = arrivals[j].outputs[i]
+                if src.size != dst.size:
+                    raise ValidationError(
+                        f"all_to_all: rank {i}->rank {j} size mismatch "
+                        f"({src.size} vs {dst.size})"
+                    )
+        staged = [[np.array(b, copy=True) for b in a.inputs] for a in arrivals]
+        for i in range(p):
+            for j in range(p):
+                arrivals[j].outputs[i][:] = staged[i][j]
+
+    return _Prepared(
+        nbytes, in_bufs, out_bufs, move,
+        meta=("all_to_all", comm.world_size),
+        tensors=(*input, *output),
+    )
+
+
+def _prep_gather(
+    comm, input: SimTensor, output: Optional[SimTensor], root: int
+) -> _Prepared:
+    comm._check_root(root)
+    in_buf = comm._flat(input)
+    out_bufs = []
+    if comm.rank == root:
+        if output is None:
+            raise ValidationError("gather: root must pass an output tensor")
+        if output.numel() != input.numel() * comm.world_size:
+            raise ValidationError("gather: root output numel mismatch")
+        out_bufs = [comm._flat(output)]
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.gather([a.inputs[0] for a in arrivals], arrivals[root].outputs[0])
+
+    return _Prepared(
+        input.nbytes(), [in_buf], out_bufs, move,
+        meta=("gather", input.numel(), input.dtype.name, root),
+        tensors=(input, output),
+    )
+
+
+def _prep_scatter(
+    comm, output: SimTensor, input: Optional[SimTensor], root: int
+) -> _Prepared:
+    comm._check_root(root)
+    out_buf = comm._flat(output)
+    in_bufs = []
+    if comm.rank == root:
+        if input is None:
+            raise ValidationError("scatter: root must pass an input tensor")
+        if input.numel() != output.numel() * comm.world_size:
+            raise ValidationError("scatter: root input numel mismatch")
+        in_bufs = [comm._flat(input)]
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.scatter(arrivals[root].inputs[0], [a.outputs[0] for a in arrivals])
+
+    return _Prepared(
+        output.nbytes(), in_bufs, [out_buf], move,
+        meta=("scatter", output.numel(), output.dtype.name, root),
+        tensors=(input, output),
+    )
+
+
+def _prep_gatherv(
+    comm,
+    input: SimTensor,
+    output: Optional[SimTensor],
+    rcounts: Optional[Sequence[int]],
+    displs: Optional[Sequence[int]],
+    root: int,
+) -> _Prepared:
+    comm._check_root(root)
+    rcounts, displs = comm._check_v_args(rcounts, displs)
+    in_buf = comm._flat(input)
+    if input.numel() < rcounts[comm.rank]:
+        raise ValidationError(
+            f"gatherv: rank {comm.rank} input smaller than rcount"
+        )
+    out_bufs = []
+    if comm.rank == root:
+        if output is None:
+            raise ValidationError("gatherv: root must pass an output tensor")
+        out_bufs = [comm._flat(output)]
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.gather_v(
+            [a.inputs[0] for a in arrivals], arrivals[root].outputs[0], rcounts, displs
+        )
+
+    return _Prepared(
+        max(rcounts) * input.element_size(), [in_buf], out_bufs, move,
+        meta=("gatherv", tuple(rcounts), tuple(displs), input.dtype.name, root),
+        tensors=(input, output),
+    )
+
+
+def _prep_scatterv(
+    comm,
+    output: SimTensor,
+    input: Optional[SimTensor],
+    scounts: Optional[Sequence[int]],
+    displs: Optional[Sequence[int]],
+    root: int,
+) -> _Prepared:
+    comm._check_root(root)
+    scounts, displs = comm._check_v_args(scounts, displs)
+    out_buf = comm._flat(output)
+    if output.numel() < scounts[comm.rank]:
+        raise ValidationError(
+            f"scatterv: rank {comm.rank} output smaller than scount"
+        )
+    in_bufs = []
+    if comm.rank == root:
+        if input is None:
+            raise ValidationError("scatterv: root must pass an input tensor")
+        in_bufs = [comm._flat(input)]
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.scatter_v(
+            arrivals[root].inputs[0], [a.outputs[0] for a in arrivals], scounts, displs
+        )
+
+    return _Prepared(
+        max(scounts) * output.element_size(), in_bufs, [out_buf], move,
+        meta=("scatterv", tuple(scounts), tuple(displs), output.dtype.name, root),
+        tensors=(input, output),
+    )
+
+
+def _prep_all_gatherv(
+    comm,
+    output: SimTensor,
+    input: SimTensor,
+    rcounts: Optional[Sequence[int]],
+    displs: Optional[Sequence[int]],
+) -> _Prepared:
+    rcounts, displs = comm._check_v_args(rcounts, displs)
+    in_buf, out_buf = comm._flat(input), comm._flat(output)
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.all_gather_v(
+            [a.inputs[0] for a in arrivals],
+            [a.outputs[0] for a in arrivals],
+            rcounts,
+            displs,
+        )
+
+    return _Prepared(
+        max(rcounts) * input.element_size(), [in_buf], [out_buf], move,
+        meta=("all_gatherv", tuple(rcounts), tuple(displs), input.dtype.name),
+        tensors=(input, output),
+    )
+
+
+def _prep_all_to_allv(
+    comm,
+    output: SimTensor,
+    input: SimTensor,
+    scounts: Optional[Sequence[int]],
+    sdispls: Optional[Sequence[int]],
+    rcounts: Optional[Sequence[int]],
+    rdispls: Optional[Sequence[int]],
+) -> _Prepared:
+    scounts, sdispls = comm._check_v_args(scounts, sdispls)
+    rcounts, rdispls = comm._check_v_args(rcounts, rdispls)
+    in_buf, out_buf = comm._flat(input), comm._flat(output)
+
+    def move(arrivals: list[Arrival]) -> None:
+        datapath.all_to_all_v(
+            [a.inputs[0] for a in arrivals],
+            [a.outputs[0] for a in arrivals],
+            [a.extras["scounts"] for a in arrivals],
+            [a.extras["sdispls"] for a in arrivals],
+            [a.extras["rcounts"] for a in arrivals],
+            [a.extras["rdispls"] for a in arrivals],
+        )
+
+    return _Prepared(
+        sum(scounts) * input.element_size(), [in_buf], [out_buf], move,
+        meta=("all_to_allv", comm.world_size, input.dtype.name),
+        tensors=(input, output),
+        extras={
+            "scounts": list(scounts),
+            "sdispls": list(sdispls),
+            "rcounts": list(rcounts),
+            "rdispls": list(rdispls),
+            "_elem_size": input.element_size(),
+        },
+    )
+
+
+def _prep_barrier(comm) -> _Prepared:
+    def move(arrivals: list[Arrival]) -> None:
+        pass
+
+    return _Prepared(0, [], [], move, meta=("barrier",))
+
+
+# ---------------------------------------------------------------------------
+# the op table (one row per public collective)
+# ---------------------------------------------------------------------------
+
+_ALL_REDUCE = CollectiveSpec(
+    "all_reduce", OpFamily.ALLREDUCE, _prep_all_reduce, hier_op="all_reduce"
+)
+_REDUCE = CollectiveSpec("reduce", OpFamily.REDUCE, _prep_reduce)
+_BCAST = CollectiveSpec(
+    "bcast", OpFamily.BROADCAST, _prep_bcast, hier_op="bcast", compressible=False
+)
+_ALL_GATHER = CollectiveSpec(
+    "all_gather", OpFamily.ALLGATHER, _prep_all_gather,
+    hier_op="all_gather", compressible=False,
+)
+_REDUCE_SCATTER = CollectiveSpec(
+    "reduce_scatter", OpFamily.REDUCE_SCATTER, _prep_reduce_scatter
+)
+_ALL_TO_ALL_SINGLE = CollectiveSpec(
+    "all_to_all_single", OpFamily.ALLTOALL, _prep_all_to_all_single,
+    hier_op="all_to_all_single", compressible=False,
+)
+_ALL_TO_ALL = CollectiveSpec(
+    "all_to_all", OpFamily.ALLTOALL, _prep_all_to_all, compressible=False
+)
+_GATHER = CollectiveSpec("gather", OpFamily.GATHER, _prep_gather, compressible=False)
+_SCATTER = CollectiveSpec(
+    "scatter", OpFamily.SCATTER, _prep_scatter, compressible=False
+)
+_GATHERV = CollectiveSpec(
+    "gatherv", OpFamily.GATHER, _prep_gatherv, compressible=False, vector=True
+)
+_SCATTERV = CollectiveSpec(
+    "scatterv", OpFamily.SCATTER, _prep_scatterv, compressible=False, vector=True
+)
+_ALL_GATHERV = CollectiveSpec(
+    "all_gatherv", OpFamily.ALLGATHER, _prep_all_gatherv,
+    compressible=False, vector=True,
+)
+_ALL_TO_ALLV = CollectiveSpec(
+    "all_to_allv", OpFamily.ALLTOALL, _prep_all_to_allv,
+    compressible=False, vector=True,
+)
+_BARRIER = CollectiveSpec(
+    "barrier", OpFamily.BARRIER, _prep_barrier, compressible=False, force_host=True
+)

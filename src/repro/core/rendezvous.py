@@ -1,0 +1,673 @@
+"""Execution layer of the comm core: rendezvous matching and the
+collective/p2p spines.
+
+Collectives rendezvous through shared simulation state keyed by a
+per-backend sequence number, exactly like communicator-ordered
+collective calls in NCCL/MPI: symmetric programs match up, mismatched
+programs deadlock (and the engine reports it), and argument mismatches
+raise :class:`~repro.core.exceptions.ValidationError` at the
+rendezvous.
+
+This module is the bottom of the comm-core layering (op surface →
+dispatch → execution; see ``docs/INTERNALS.md`` §15): it must not
+import :mod:`repro.core.dispatch` or :mod:`repro.core.comm`.  The
+:class:`ExecutionLayer` mixin reaches dispatch-layer methods
+(``_compile_plan``, ``_admit_backend``, ...) through ``self`` — the
+concrete :class:`~repro.core.comm.MCRCommunicator` composes both
+layers — so the *code* dependency stays one-directional even though the
+call graph crosses layers per operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.backends.ops import OpFamily
+from repro.core.exceptions import CommTimeoutError, MCRError, ValidationError
+from repro.core.handles import CompletedHandle, WorkHandle
+from repro.sim.engine import Flag
+from repro.sim.graph import CollectiveGroup, resolve
+from repro.tensor import SimTensor
+
+#: stand-in data-plane buffer for virtual (timing-only) tensors
+_VIRTUAL_BUF = np.empty(0, dtype=np.float32)
+
+
+@dataclass(slots=True)
+class Arrival:
+    """One rank's registration at a collective rendezvous."""
+
+    rank: int
+    host_time: float
+    inputs: list[np.ndarray]
+    outputs: list[np.ndarray]
+    extras: dict = field(default_factory=dict)
+
+
+class Rendezvous:
+    """Shared per-collective matching record."""
+
+    __slots__ = (
+        "key",
+        "expected",
+        "family",
+        "meta",
+        "flag",
+        "stream_kind",
+        "group",
+        "arrivals",
+        "resolved",
+        "claimed",
+        "duration",
+    )
+
+    def __init__(
+        self,
+        key: tuple,
+        expected: int,
+        family: OpFamily,
+        meta: tuple,
+        flag: Flag,
+        stream_kind: bool,
+    ):
+        self.key = key
+        self.expected = expected
+        self.family = family
+        self.meta = meta
+        self.flag = flag
+        self.stream_kind = stream_kind
+        self.group: Optional[CollectiveGroup] = (
+            CollectiveGroup(expected, flag, label=str(key)) if stream_kind else None
+        )
+        self.arrivals: dict[int, Arrival] = {}
+        self.resolved = False
+        #: set by the rank that takes responsibility for resolution (the
+        #: pre-post host sync can let several ranks observe "all arrived")
+        self.claimed = False
+        #: transfer duration (µs), known once the last rank arrives
+        self.duration: Optional[float] = None
+
+
+class ExecutionLayer:
+    """Mixin: posts operations into the engine and observes completion.
+
+    Stateless by itself — every attribute it reads (``ctx``, ``_shared``,
+    ``_seq``, plan-cache state, fault gates, ...) is initialized by
+    :class:`~repro.core.comm.MCRCommunicator`, and every dispatch-layer
+    method it calls (``_compile_plan``, ``_admit_backend``,
+    ``_op_label``, ...) is provided by
+    :class:`~repro.core.dispatch.DispatchLayer`.
+    """
+
+    def _flat(self, tensor: SimTensor) -> np.ndarray:
+        if not isinstance(tensor, SimTensor):
+            raise TypeError(f"expected SimTensor, got {type(tensor).__name__}")
+        if tensor.is_virtual:
+            # timing-only tensor: the buffer is never read or written (every
+            # data-plane touch is guarded by ``not timing_only``), so skip
+            # the contiguity/view work and hand back a shared placeholder
+            return _VIRTUAL_BUF
+        return tensor.contiguous().view_flat()
+
+    def _next_seq(self, backend_name: str) -> int:
+        # rendezvous sequence numbers are keyed per backend only:
+        # collective calls are communicator-ordered within a library
+        # regardless of op family, exactly like NCCL/MPI, so mixed-family
+        # programs stay matched as long as every rank posts the same
+        # op order (tests/test_plan_cache.py pins this down)
+        self._seq[backend_name] += 1
+        return self._seq[backend_name]
+
+    def _collective(
+        self,
+        backend_name: str,
+        family: OpFamily,
+        nbytes: int,
+        inputs: list[np.ndarray],
+        outputs: list[np.ndarray],
+        move: Callable[[list[Arrival]], None],
+        meta: tuple,
+        async_op: bool,
+        vector: bool = False,
+        force_host: bool = False,
+        compressible: bool = True,
+        extras: Optional[dict] = None,
+        tensors: tuple = (),
+        dispatch_scale: float = 1.0,
+    ) -> Optional[WorkHandle]:
+        # virtual (timing-only) tensors: charge full communication time
+        # but skip the data plane (workload modeling; see SimTensor docs)
+        timing_only = False
+        for t in tensors:
+            if t is not None and t.is_virtual:
+                timing_only = True
+                break
+        if self._finalized:
+            raise MCRError("communicator already finalized")
+        ctx = self.ctx
+
+        # pre-dispatch hook fallback for direct ``_collective`` callers
+        # (persistent-collective replay): the public op surface primes
+        # ``_adapt_primed`` before hier/flat resolution, so this only
+        # fires when the op surface was bypassed.  A probation canary
+        # (retuner.quiet) posts from inside before_op and must not count
+        # as a new adaptive op.
+        retuner = self._retuner
+        if retuner is not None:
+            if self._adapt_primed:
+                self._adapt_primed = False
+            elif not retuner.quiet:
+                retuner.before_op(family, nbytes)
+
+        # plan lookup: steady state pays one dict probe; first post (or
+        # first post after an epoch bump) compiles.  The cache-off path
+        # compiles a throwaway plan through the same code, which is what
+        # keeps cached and uncached dispatch identical by construction.
+        if self._plan_cache_on:
+            pkey = (
+                backend_name, family, meta, nbytes,
+                vector, force_host, compressible, timing_only,
+            )
+            plan = self._plans.get(pkey)
+            if plan is not None and self._plan_valid(plan):
+                self._plan_hits += 1
+            else:
+                plan = self._compile_plan(
+                    backend_name, family, nbytes, meta,
+                    vector, force_host, compressible, timing_only,
+                )
+                self._plans[pkey] = plan
+                self._plan_misses += 1
+        else:
+            plan = self._compile_plan(
+                backend_name, family, nbytes, meta,
+                vector, force_host, compressible, timing_only,
+            )
+
+        backend = plan.backend
+        label = plan.label
+        dispatch_reason = plan.dispatch_reason
+        dispatch_cost = plan.dispatch_cost_us
+        stream_kind = plan.stream_kind
+        if self._fault_gate or self._quarantined:
+            # the fault gate runs per call even on a plan hit: injector
+            # op counters must advance exactly as in the uncached path,
+            # and its retries/reroutes are call-local, never plan state
+            admitted = self._admit_backend(backend, family, nbytes)
+            if admitted is not backend:
+                backend = admitted
+                label, dispatch_reason = self._op_label(family, backend.name)
+                dispatch_cost = self._dispatch_cost(backend)
+                stream_kind = self.sync.uses_streams(backend) and not force_host
+                if self.config.synchronization == "naive":
+                    stream_kind = not force_host
+        dispatch = (
+            self._dispatch_kind(backend_name, plan.resolved_name, backend.name)
+            if self.logger is not None
+            else "explicit"
+        )
+
+        # host dispatch: thin Python layer + backend call overhead (C3);
+        # persistent collectives replay at a discounted scale (§V-E)
+        if dispatch_scale != 1.0:
+            dispatch_cost *= dispatch_scale
+        ctx.engine.sleep(dispatch_cost, dispatch_reason)
+
+        codec = plan.codec
+        wire_bytes = plan.wire_bytes
+        codec_us = plan.codec_us
+
+        if self.world_size == 1:
+            if not timing_only:
+                for a_in, a_out in zip(inputs, outputs):
+                    if a_in is not a_out:
+                        a_out[:] = a_in
+            handle = CompletedHandle(ctx, backend.name, label)
+            self._log(
+                family, backend, nbytes, ctx.now, ctx.now, async_op,
+                dispatch=dispatch, stream="host",
+            )
+            if async_op:
+                return handle
+            return None
+
+        # rendezvous ---------------------------------------------------
+
+        seq = self._next_seq(backend.name)
+        key = (self.comm_id, backend.name, seq)
+        rdv_table = self._shared["rdv"]
+        meta = plan.meta_tagged
+        rdv = rdv_table.get(key)
+        if rdv is None:
+            rdv = Rendezvous(
+                key, self.world_size, family, meta, ctx.new_flag(label), stream_kind
+            )
+            rdv_table[key] = rdv
+        if rdv.meta != meta or rdv.family is not family:
+            raise ValidationError(
+                f"collective mismatch at {key}: rank {ctx.rank} posted "
+                f"{family}/{meta}, expected {rdv.family}/{rdv.meta}"
+            )
+        if ctx.rank in rdv.arrivals:
+            raise ValidationError(f"rank {ctx.rank} arrived twice at {key}")
+
+        arrival = Arrival(
+            rank=ctx.rank,
+            host_time=ctx.now,
+            inputs=inputs,
+            outputs=outputs,
+            extras=extras or {},
+        )
+        rdv.arrivals[ctx.rank] = arrival
+
+        member_node = None
+        stream_label = "host"
+        if stream_kind:
+            self.sync.pre_post(backend)
+            # pre_post may advance the host clock (naive-mode default
+            # stream sync); the arrival timestamp must reflect when the
+            # op was actually posted or flapping-link windows skew
+            arrival.host_time = ctx.now
+            stream = self.sync.pick_stream(backend, wire_bytes)
+            stream_label = stream.name
+            producer = ctx.gpu.default_stream.last
+            member_node = stream.enqueue_collective_member(
+                rdv.group,
+                deps=[producer] if producer is not None else [],
+                label=label,
+                category="comm",
+            )
+        else:
+            self.sync.pre_post(backend)
+            arrival.host_time = ctx.now  # pre_post may have advanced time
+
+        last = len(rdv.arrivals) == self.world_size and not rdv.claimed
+        if last:
+            rdv.claimed = True
+            if vector and family is OpFamily.ALLTOALL:
+                # an imbalanced alltoallv runs at the pace of its heaviest
+                # sender or receiver (the straggler destination), not this
+                # rank's own volume
+                wire_bytes = max(wire_bytes, self._alltoallv_critical_bytes(rdv))
+            duration = backend.collective_cost_us(
+                family,
+                wire_bytes,
+                self.world_size,
+                self._comm_path,
+                vector=vector,
+                nonblocking=async_op,
+            )
+            duration *= 1.0 + self.config.dispatch_fraction
+            if self._link_faults:
+                # degraded/flapping fabric window (repro.sim.faults):
+                # decided once, by the resolving rank, at the transfer's
+                # start time — per-rank clocks cannot split the decision
+                duration *= ctx.system.link_time_factor(
+                    max(a.host_time for a in rdv.arrivals.values()),
+                    backend.name,
+                )
+            duration += codec_us
+            if self.config.force_host_staging:
+                # Listing-2 style device->host->device copies around the op
+                duration += 2.0 * ctx.system.host_staging_us(wire_bytes)
+            ordered = [rdv.arrivals[r] for r in self.group_ranks]
+
+            def on_resolve() -> None:
+                if not timing_only:
+                    if codec is not None:
+                        for a in ordered:
+                            for buf in a.inputs:
+                                codec.apply_quantization_error(buf)
+                    move(ordered)
+                rdv.resolved = True
+
+            del rdv_table[key]
+            # Bandwidth-bound ops serialize per wire lane (§V-C:
+            # "concurrent large-message operations are bandwidth-bound and
+            # show no benefit"); latency-bound small ops overlap freely.
+            # Two lanes model the two injection paths of a GPU node:
+            # GPU-initiated (NCCL-family) and host-initiated RDMA (MPI) —
+            # which is also why mixing more than one backend of the same
+            # kind buys nothing (paper §V-D footnote 4).
+            is_large = wire_bytes >= self.config.large_message_threshold
+            lane = (
+                "wire:stream" if backend.properties.stream_aware else "wire:host"
+            )
+            interference = getattr(ctx.system, "cross_path_interference", 0.6)
+            rdv.duration = duration  # before fire: deferred log emits read it
+            if stream_kind:
+                rdv.group.duration = duration
+                rdv.group.on_resolve = on_resolve
+                if is_large and family is not OpFamily.BARRIER:
+                    rdv.group.channel_store = self._channel
+                    rdv.group.channel_key = lane
+                    rdv.group.interference = interference
+                resolve(rdv.group, ctx.engine)
+            else:
+                from repro.sim.graph import apply_wire_lane
+
+                channel = self._channel
+                start = max(a.host_time for a in ordered)
+                if is_large:
+                    start = apply_wire_lane(
+                        channel, lane, start, duration, interference
+                    )
+                end = start + duration
+                on_resolve()
+                self._trace_host_collective(ordered, label, start, end)
+                rdv.flag.fire(end)
+        elif member_node is not None and rdv.claimed:
+            # the pre-post host sync separates arrival registration from
+            # member enqueue, so the claiming rank can wake first and
+            # resolve() an incomplete group (a silent no-op).  The rank
+            # whose member completes the group must retry, or every host
+            # parks on a flag nobody will fire.
+            group = rdv.group
+            if group is not None and group.complete and not group._resolved:
+                resolve(group, ctx.engine)
+
+        # wait() semantics: stream-aware libraries synchronize through
+        # CUDA events (host never blocks); MPI libraries complete through
+        # MPI_Wait on the host even when their traffic rides MCR-managed
+        # streams (mcr-managed mode only changes *where* the transfer
+        # overlaps, not how completion is observed).
+        stream_semantics = (
+            stream_kind
+            and backend.properties.stream_aware
+            and self.config.synchronization != "naive"
+        )
+        self._log_on_flag(
+            family, backend, nbytes, rdv.flag, async_op, rdv,
+            dispatch=dispatch, stream=stream_label,
+        )
+        if retuner is not None:
+            # observation rides the rendezvous flag: fire() runs every
+            # rank's callback at one instant with one shared duration,
+            # keeping the per-rank observation streams identical
+            retuner.attach(family, backend.name, nbytes, rdv, backend_name == "auto")
+        deadline_us = self.config.op_deadline_us
+        if async_op:
+            handle = WorkHandle(
+                ctx, backend.name, rdv.flag, member_node,
+                stream_semantics=stream_semantics, label=label,
+                deadline_us=deadline_us,
+                timeout_info=(
+                    self._timeout_info(label, rdv) if deadline_us is not None else None
+                ),
+            )
+            self._outstanding[backend.name].append(handle)
+            return handle
+        # synchronous op: apply wait() semantics inline, no handle object
+        if stream_semantics and member_node is not None:
+            ctx.gpu.default_stream._gates.append(member_node)
+        else:
+            self._await_flag(rdv.flag, label, rdv, deadline_us)
+        if self.config.synchronization == "naive":
+            # naive scheme additionally host-blocks (Fig. 4a)
+            ctx.engine.wait_flag(rdv.flag, reason=label)
+        return None
+
+    def _await_flag(
+        self,
+        flag: Flag,
+        label: str,
+        rdv: Optional[Rendezvous],
+        deadline_us: Optional[float],
+    ) -> None:
+        """Host-block on a completion flag, honoring the per-op deadline."""
+        ctx = self.ctx
+        if deadline_us is None:
+            if flag.ready_time is None:
+                ctx.engine.wait_flag(flag, reason=f"wait({label})")
+            else:
+                ctx.engine.wait_flag(flag, reason=label)
+            return
+        if not ctx.engine.wait_flag_deadline(
+            flag, ctx.now + deadline_us, reason=f"wait({label})"
+        ):
+            detail = self._timeout_info(label, rdv)()
+            raise CommTimeoutError(
+                f"{label} exceeded the {deadline_us:.0f}us deadline on rank "
+                f"{ctx.rank}: {detail}",
+                label=label,
+                rank=ctx.rank,
+                deadline_us=deadline_us,
+                detail=detail,
+            )
+
+    def _timeout_info(self, label: str, rdv: Optional[Rendezvous]):
+        """Deferred per-rank diagnostics for a CommTimeoutError: evaluated
+        at timeout time, when the rendezvous shows who never arrived."""
+
+        def info() -> str:
+            if rdv is None:
+                return "operation still pending"
+            arrived = sorted(rdv.arrivals)
+            missing = [r for r in self.group_ranks if r not in rdv.arrivals]
+            if missing:
+                posted = ", ".join(
+                    f"rank {r}@{rdv.arrivals[r].host_time:.1f}us" for r in arrived
+                )
+                return f"ranks {missing} never posted {label} (arrived: {posted})"
+            return "all ranks arrived; transfer still in flight"
+
+        return info
+
+    def _alltoallv_critical_bytes(self, rdv: Rendezvous) -> int:
+        """Heaviest per-rank send or receive volume of an alltoallv."""
+        arrivals = [rdv.arrivals[r] for r in self.group_ranks if r in rdv.arrivals]
+        if not arrivals or "scounts" not in arrivals[0].extras:
+            return 0
+        elem = arrivals[0].extras.get("_elem_size", 4)
+        send_totals = [sum(a.extras["scounts"]) for a in arrivals]
+        p = len(arrivals)
+        recv_totals = [
+            sum(a.extras["scounts"][j] for a in arrivals) for j in range(p)
+        ]
+        return max(max(send_totals), max(recv_totals)) * elem
+
+    def _trace_host_collective(
+        self, ordered: list[Arrival], label: str, start: float, end: float
+    ) -> None:
+        tracer = self.ctx.gpu.tracer
+        if tracer is None:
+            return
+        for a in ordered:
+            tracer.record(
+                rank=a.rank, stream="mpi-host", label=label, category="comm",
+                start=start, end=end,
+            )
+
+    # -- point-to-point ----------------------------------------------------
+
+    def _p2p(
+        self,
+        backend_name: str,
+        tensor: SimTensor,
+        peer: int,
+        tag: int,
+        is_send: bool,
+        async_op: bool,
+    ) -> Optional[WorkHandle]:
+        ctx = self.ctx
+        if not 0 <= peer < self.world_size:
+            raise ValidationError(f"peer {peer} out of range")
+        peer_global = self.group_ranks[peer]
+        if peer_global == ctx.rank:
+            raise ValidationError("p2p with self is not supported")
+        backend = self._resolve_backend(backend_name, OpFamily.P2P, tensor.nbytes())
+        resolved_name = backend.name
+        src, dst = (ctx.rank, peer_global) if is_send else (peer_global, ctx.rank)
+        if self._fault_gate or self._quarantined:
+            backend = self._admit_backend(
+                backend, OpFamily.P2P, tensor.nbytes(), p2p_channel=(src, dst, tag)
+            )
+        label, dispatch_reason = self._op_label(
+            "send" if is_send else "recv", backend.name
+        )
+        ctx.sleep(self._dispatch_cost(backend), reason=dispatch_reason)
+
+        chan = self._shared["p2p"][(backend.name, src, dst, tag)]
+        mine, theirs = ("sends", "recvs") if is_send else ("recvs", "sends")
+        buf = self._flat(tensor)
+
+        if chan[theirs]:
+            other_buf, other_time, flag, other_virtual = chan[theirs].popleft()
+            timing_only = tensor.is_virtual or other_virtual
+            send_buf, recv_buf = (buf, other_buf) if is_send else (other_buf, buf)
+            if not timing_only and send_buf.size != recv_buf.size:
+                raise ValidationError(
+                    f"p2p size mismatch: send {send_buf.size} vs recv {recv_buf.size}"
+                )
+            cost = backend.p2p_cost_us(
+                tensor.nbytes(), ctx.system.same_node(src, dst)
+            ) * (1.0 + self.config.dispatch_fraction)
+            start = max(ctx.now, other_time)
+            if self._link_faults:
+                cost *= ctx.system.link_time_factor(start, backend.name)
+            end = start + cost
+            if not timing_only:
+                recv_buf[:] = send_buf
+            if not flag.is_set:  # eager sends fire their flag at post time
+                flag.fire(end)
+            if not is_send:
+                # the receiver's own completion is the transfer end
+                my_flag = ctx.new_flag(label)
+                my_flag.fire(end)
+                flag = my_flag
+            if self.logger is not None:
+                # one record per endpoint (the queued peer cannot know the
+                # transfer duration, so the matching side logs for both)
+                dispatch = self._dispatch_kind(
+                    backend_name, resolved_name, backend.name
+                )
+                for endpoint in (ctx.rank, peer):
+                    self.logger.log(
+                        rank=endpoint,
+                        family=str(OpFamily.P2P),
+                        backend=backend.name,
+                        nbytes=tensor.nbytes(),
+                        start=end - cost,
+                        end=end,
+                        async_op=async_op,
+                        step=self._current_step(endpoint),
+                        dispatch=dispatch,
+                        stream="p2p",
+                    )
+            handle = WorkHandle(
+                ctx, backend.name, flag, None, False, label,
+                deadline_us=self.config.op_deadline_us,
+            )
+        else:
+            flag = ctx.new_flag(label)
+            if is_send and tensor.nbytes() <= self.config.eager_threshold:
+                # eager protocol: buffer the payload so the sender can
+                # return (and reuse its tensor) before the match
+                if not tensor.is_virtual:
+                    buf = buf.copy()
+                flag.fire(ctx.now)
+            chan[mine].append((buf, ctx.now, flag, tensor.is_virtual))
+            handle = WorkHandle(
+                ctx, backend.name, flag, None, False, label,
+                deadline_us=self.config.op_deadline_us,
+            )
+
+        if async_op:
+            self._outstanding[backend.name].append(handle)
+            return handle
+        handle.synchronize()
+        return None
+
+    # -- logging -----------------------------------------------------------
+
+    @staticmethod
+    def _dispatch_kind(requested: str, resolved_name: str, actual_name: str) -> str:
+        """Attribution tag for one dispatch decision (ISSUE 4): how did
+        this op end up on ``actual_name``?"""
+        if actual_name != resolved_name:
+            return "reroute"  # fault gate failed over / rerouted
+        return "auto" if requested == "auto" else "explicit"
+
+    def _current_step(self, rank: int) -> int:
+        obs = self._obs
+        return obs.current_step(rank) if obs is not None else -1
+
+    def _log(
+        self,
+        family: OpFamily,
+        backend,
+        nbytes: int,
+        start: float,
+        end: float,
+        async_op: bool,
+        dispatch: str = "explicit",
+        stream: str = "",
+    ) -> None:
+        if self.logger is not None:
+            self.logger.log(
+                rank=self.ctx.rank,
+                family=family.value,
+                backend=backend.name,
+                nbytes=nbytes,
+                start=start,
+                end=end,
+                async_op=async_op,
+                step=self._current_step(self.ctx.rank),
+                dispatch=dispatch,
+                stream=stream,
+                phase=self._phase_tag,
+            )
+
+    def _log_on_flag(
+        self,
+        family: OpFamily,
+        backend,
+        nbytes: int,
+        flag: Flag,
+        async_op: bool,
+        rdv: Optional[Rendezvous] = None,
+        dispatch: str = "explicit",
+        stream: str = "",
+    ) -> None:
+        """Log once the completion time is known (flag fired).
+
+        Records the *transfer* interval (completion minus duration), not
+        post-to-completion — queueing behind other traffic is not
+        communication time (it would double-count in the breakdowns).
+        The training step is captured at *post* time: a non-blocking op
+        completing during step N+1 still belongs to the step that issued
+        it.
+        """
+        if self.logger is None:
+            return
+        logger = self.logger
+        rank = self.ctx.rank
+        post_time = self.ctx.now
+        step = self._current_step(rank)
+        phase = self._phase_tag
+
+        def emit() -> None:
+            end = flag.ready_time
+            duration = rdv.duration if rdv is not None and rdv.duration else None
+            start = end - duration if duration is not None else post_time
+            logger.log(
+                rank=rank,
+                family=family.value,
+                backend=backend.name,
+                nbytes=nbytes,
+                start=start,
+                end=end,
+                async_op=async_op,
+                step=step,
+                dispatch=dispatch,
+                stream=stream,
+                phase=phase,
+            )
+
+        if flag.is_set:
+            emit()
+        else:
+            logger.defer(flag, emit)

@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 from repro.backends.base import create_backend
 from repro.backends.ops import OpFamily
 from repro.cluster.topology import SystemSpec
+from repro.core.comm import MCRCommunicator
 from repro.core.config import MCRConfig
 from repro.core.exceptions import TuningError
 from repro.core.tuning import TuningTable
@@ -263,7 +264,6 @@ class Tuner:
     def _measure_simulated(
         self, backend_name: str, op: OpFamily, msg_bytes: int, world_size: int
     ) -> float:
-        from repro.core.comm import MCRCommunicator
         from repro.sim.simulator import Simulator
         from repro.tensor.dtypes import float32
 

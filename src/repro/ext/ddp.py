@@ -32,11 +32,11 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.backends.ops import ReduceOp
 from repro.core.exceptions import MCRError
+from repro.core.protocols import CommCore
 from repro.tensor import SimTensor
 from repro.tensor.tensor import cat
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.comm import MCRCommunicator
     from repro.core.handles import WorkHandle
 
 DEFAULT_BUCKET_BYTES = 25 * 1024 * 1024  # torch DDP's default
@@ -56,7 +56,7 @@ class DistributedDataParallel:
 
     def __init__(
         self,
-        comm: "MCRCommunicator",
+        comm: CommCore,
         backend: str = "auto",
         bucket_bytes: int = DEFAULT_BUCKET_BYTES,
         op: ReduceOp = ReduceOp.AVG,

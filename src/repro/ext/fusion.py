@@ -20,11 +20,11 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.backends.ops import ReduceOp
 from repro.core.exceptions import MCRError
+from repro.core.protocols import CommCore
 from repro.tensor import SimTensor
 from repro.tensor.tensor import cat
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.comm import MCRCommunicator
     from repro.core.handles import WorkHandle
 
 
@@ -102,7 +102,7 @@ class _Bucket:
 class TensorFusion:
     """Fusion engine for allreduce traffic over one communicator."""
 
-    def __init__(self, comm: "MCRCommunicator", config: Optional[FusionConfig] = None):
+    def __init__(self, comm: CommCore, config: Optional[FusionConfig] = None):
         self.comm = comm
         self.config = config or FusionConfig()
         self._buckets: dict[tuple, _Bucket] = {}

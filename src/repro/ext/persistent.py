@@ -10,7 +10,7 @@ steady state.
 Implementation: initialization runs the public op with the
 communicator's ``_collective`` intercepted, capturing the exact
 internal invocation (validated buffers, op family, rendezvous meta) and
-pre-compiling its :class:`~repro.core.comm.CommPlan` in the
+pre-compiling its :class:`~repro.core.dispatch.CommPlan` in the
 communicator's dispatch plan cache.  ``start()`` replays that
 invocation with ``dispatch_scale=PERSISTENT_DISPATCH_SCALE`` — a
 per-call keyword, so a start that raises (quarantined backend, fault
@@ -34,9 +34,10 @@ from typing import TYPE_CHECKING
 
 from repro.core.exceptions import MCRError
 from repro.core.handles import WorkHandle
+from repro.core.protocols import CommCore
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.core.comm import CommPlan, MCRCommunicator
+    from repro.core.dispatch import CommPlan
 
 #: fraction of the normal dispatch cost a persistent start still pays
 #: (the request-start syscall; argument marshalling is gone)
@@ -64,7 +65,7 @@ _ALLOWED = {
 class PersistentCollective:
     """A pre-negotiated collective that can be started repeatedly."""
 
-    def __init__(self, comm: "MCRCommunicator", op_name: str, backend: str, *args, **kwargs):
+    def __init__(self, comm: CommCore, op_name: str, backend: str, *args, **kwargs):
         if op_name not in _ALLOWED:
             raise MCRError(
                 f"{op_name!r} cannot be made persistent; allowed: {sorted(_ALLOWED)}"

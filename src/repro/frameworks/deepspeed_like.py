@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.comm import MCRCommunicator
 from repro.core.config import CompressionConfig, MCRConfig
 from repro.core.exceptions import ConfigurationError
 from repro.core.tuning import TuningTable

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.backends.ops import ReduceOp
-from repro.core.comm import MCRCommunicator
+from repro.core.api import create_communicator
 from repro.core.config import MCRConfig
 from repro.core.exceptions import MCRError
 from repro.core.handles import WorkHandle
@@ -50,7 +50,7 @@ class HorovodLike:
             # deadlock-avoidance support" (§II-A): naive synchronization
             config.synchronization = "naive"
         self.backend = backend
-        self._comm = MCRCommunicator(ctx, backends, config=config, comm_id="horovod")
+        self._comm = create_communicator(ctx, backends, config=config, comm_id="horovod")
         self._fusion = TensorFusion(self._comm, fusion or FusionConfig())
 
     def allreduce(

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.backends.ops import ReduceOp
-from repro.core.comm import MCRCommunicator
+from repro.core.api import create_communicator
 from repro.core.config import MCRConfig
 from repro.core.handles import WorkHandle
 from repro.sim.process import RankContext
@@ -36,7 +36,7 @@ class Mpi4pyLike:
         # the external wrapper never sees MCR's comm streams
         config.mpi_stream_mode = "mpi-managed"
         self.backend = backend
-        self._comm = MCRCommunicator(ctx, [backend], config=config, comm_id="mpi4py")
+        self._comm = create_communicator(ctx, [backend], config=config, comm_id="mpi4py")
 
     # mpi4py upper-case buffer API, MPI spellings
 

@@ -18,7 +18,7 @@ from typing import Optional, Sequence
 
 from repro.backends.base import backend_class, canonical_name
 from repro.backends.ops import ReduceOp
-from repro.core.comm import MCRCommunicator
+from repro.core.api import create_communicator
 from repro.core.config import MCRConfig
 from repro.core.exceptions import MCRError
 from repro.core.handles import WorkHandle
@@ -48,7 +48,7 @@ class TorchDistributed:
         config = config or MCRConfig()
         config.dispatch_overhead_us = TORCH_DISPATCH_OVERHEAD_US
         config.dispatch_fraction = TORCH_DISPATCH_FRACTION
-        self._comm = MCRCommunicator(ctx, [self.backend], config=config, comm_id="torch")
+        self._comm = create_communicator(ctx, [self.backend], config=config, comm_id="torch")
 
     # -- capability gates ----------------------------------------------------
 

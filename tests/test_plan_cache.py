@@ -391,3 +391,125 @@ class TestObservability:
             return ctx.now
 
         _run(main)  # must not raise: no registry installed
+
+
+class TestVectoredCollectives:
+    """Vectored ops (gatherv/scatterv/all_gatherv/all_to_allv) through
+    the plan cache and fault failover — their plan keys carry the
+    vector flag, count vectors change nbytes, and a quarantined backend
+    reroutes them like any flat collective."""
+
+    def _vectored_round(self, ctx, comm, backend):
+        x = ctx.full(4, float(ctx.rank + 1))
+        pair = ctx.zeros(8)
+        comm.gatherv(backend, x, pair if ctx.rank == 0 else None, rcounts=[4, 4])
+        comm.scatterv(backend, x, pair if ctx.rank == 0 else None, scounts=[4, 4])
+        comm.all_gatherv(backend, pair, x, rcounts=[4, 4])
+        comm.all_to_allv(backend, pair, pair, scounts=[4, 4], rcounts=[4, 4])
+        comm.synchronize()
+        return x, pair
+
+    def test_steady_state_hits_per_family(self):
+        def main(ctx):
+            comm = MCRCommunicator(ctx, BACKENDS)
+            for _ in range(5):
+                self._vectored_round(ctx, comm, "nccl")
+            stats = comm.plan_stats
+            comm.finalize()
+            return stats
+
+        stats = _run(main).rank_results[0]
+        assert stats["misses"] == 4  # one plan per vectored family
+        assert stats["hits"] == 16
+        assert stats["plans"] == 4
+
+    def test_count_vector_change_is_a_new_plan(self):
+        """nbytes derives from the count vectors, so a resized gatherv
+        must compile a fresh plan, not reuse the old one."""
+
+        def main(ctx):
+            comm = MCRCommunicator(ctx, BACKENDS)
+            small = ctx.full(2, 1.0)
+            big = ctx.full(6, 1.0)
+            out_s = ctx.zeros(4) if ctx.rank == 0 else None
+            out_b = ctx.zeros(12) if ctx.rank == 0 else None
+            for _ in range(3):
+                comm.gatherv("nccl", small, out_s, rcounts=[2, 2])
+                comm.gatherv("nccl", big, out_b, rcounts=[6, 6])
+            comm.synchronize()
+            stats = comm.plan_stats
+            comm.finalize()
+            return stats
+
+        stats = _run(main).rank_results[0]
+        assert stats["plans"] == 2
+        assert stats["misses"] == 2
+        assert stats["hits"] == 4
+
+    def test_cached_and_uncached_identical(self):
+        """Byte identity for the vectored families: simulated time and
+        real data must not move when the cache is disabled."""
+
+        def job(plan_cache):
+            def main(ctx):
+                comm = MCRCommunicator(ctx, BACKENDS, config=_cfg(plan_cache))
+                data = []
+                for i in range(3):
+                    backend = BACKENDS[i % 2]
+                    x, pair = self._vectored_round(ctx, comm, backend)
+                    data.append((x.data.copy(), pair.data.copy()))
+                stats = comm.plan_stats
+                comm.finalize()
+                return ctx.now, data, stats
+
+            return _run(main, world_size=2)
+
+        cached, uncached = job(True), job(False)
+        assert cached.elapsed_us == uncached.elapsed_us
+        for (tc, dc, stats), (tu, du, _) in zip(
+            cached.rank_results, uncached.rank_results
+        ):
+            assert tc == tu
+            for (xc, pc), (xu, pu) in zip(dc, du):
+                assert np.array_equal(xc, xu)
+                assert np.array_equal(pc, pu)
+        assert cached.rank_results[0][2]["hits"] > 0
+        assert uncached.rank_results[0][2]["hits"] == 0
+
+    def test_permanent_fault_fails_over_with_correct_data(self):
+        """A mid-run quarantine reroutes vectored ops to the survivor;
+        the rerouted all_gatherv still delivers every rank's shard, and
+        cached/uncached degraded runs agree."""
+        spec = FaultSpec(
+            backend_faults=(
+                BackendFault(backend="nccl", kind="permanent", at_op=2),
+            ),
+        )
+
+        def job(plan_cache):
+            def main(ctx):
+                comm = MCRCommunicator(ctx, BACKENDS, config=_cfg(plan_cache))
+                out = None
+                for _ in range(4):
+                    x = ctx.full(2, float(ctx.rank + 1))
+                    out = ctx.zeros(4)
+                    comm.all_gatherv("nccl", out, x, rcounts=[2, 2])
+                    comm.synchronize()
+                stats = comm.plan_stats
+                quarantined = sorted(comm._quarantined)
+                comm.finalize()
+                return ctx.now, out.data.copy(), stats, quarantined
+
+            return _run(main, world_size=2, faults=spec)
+
+        cached, uncached = job(True), job(False)
+        for res in (cached, uncached):
+            for _, data, _, quarantined in res.rank_results:
+                assert np.array_equal(data, [1, 1, 2, 2])
+                assert quarantined == ["nccl"]
+        (tc, dc, stats, _), (tu, du, _, _) = (
+            cached.rank_results[0], uncached.rank_results[0],
+        )
+        assert tc == tu
+        assert np.array_equal(dc, du)
+        assert stats["invalidations"] >= 1

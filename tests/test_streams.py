@@ -6,6 +6,7 @@ These are the CUDA-ordering behaviours MCR-DL's synchronization design
 
 import pytest
 
+from repro.core.comm import MCRCommunicator
 from repro.sim import DeadlockError, Simulator
 from repro.sim.errors import SimError
 from repro.sim.graph import apply_wire_lane
@@ -127,8 +128,6 @@ class TestDeviceSync:
         # expose a bogus tail
         def body(ctx):
             if ctx.rank == 0:
-                from repro.core.comm import MCRCommunicator
-
                 comm = MCRCommunicator(ctx, ["nccl"])
                 comm.all_reduce("nccl", ctx.zeros(4), async_op=True)
                 stream = ctx.stream("nccl:comm0")
